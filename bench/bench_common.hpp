@@ -1,0 +1,82 @@
+// Shared scaffolding for the figure-regeneration benches: a complete
+// simulated test-bed (the paper's "several Windows NT workstations on the
+// local network") with wired stations (host + embedded SNMP agent +
+// manager + collaboration client) and a base station cell.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "collabqos/app/image_viewer.hpp"
+#include "collabqos/core/basestation_peer.hpp"
+#include "collabqos/core/client.hpp"
+#include "collabqos/core/thin_client.hpp"
+#include "collabqos/snmp/host_mib.hpp"
+
+namespace collabqos::bench {
+
+/// One wired workstation with the full SNMP/adaptation stack.
+struct WiredStation {
+  net::NodeId node{};
+  std::unique_ptr<sim::Host> host;
+  std::unique_ptr<snmp::Agent> agent;
+  std::unique_ptr<snmp::Manager> manager;
+  std::unique_ptr<core::CollaborationClient> client;
+  std::unique_ptr<app::ImageViewer> viewer;
+};
+
+class Testbed {
+ public:
+  Testbed() {
+    pubsub::AttributeSet objective;
+    objective.set("domain", "evaluation");
+    session_ = directory_.create("eval-session", objective, {}).take();
+  }
+
+  WiredStation make_wired(const std::string& name, std::uint64_t id,
+                          core::QoSContract contract = {}) {
+    WiredStation station;
+    station.node = network_.add_node(name);
+    station.host = std::make_unique<sim::Host>(sim_, name);
+    station.agent = std::make_unique<snmp::Agent>(network_, station.node,
+                                                  "public", "secret");
+    snmp::install_host_instrumentation(*station.agent, *station.host, sim_);
+    snmp::install_interface_instrumentation(*station.agent, network_,
+                                            station.node);
+    station.manager = std::make_unique<snmp::Manager>(network_, station.node);
+    core::ClientConfig config;
+    config.name = name;
+    config.contract = contract;
+    core::InferenceEngine engine(contract,
+                                 core::PolicyDatabase::with_defaults());
+    station.client = std::make_unique<core::CollaborationClient>(
+        network_, station.node, session_, id, station.manager.get(),
+        std::move(engine), config);
+    station.viewer = std::make_unique<app::ImageViewer>(*station.client);
+    return station;
+  }
+
+  void run_for(double seconds) {
+    sim_.run_until(sim_.now() + sim::Duration::seconds(seconds));
+  }
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] net::Network& network() noexcept { return network_; }
+  [[nodiscard]] const core::SessionInfo& session() const noexcept {
+    return session_;
+  }
+
+ private:
+  sim::Simulator sim_;
+  net::Network network_{sim_, 20020422};  // IPPS 2002 vintage seed
+  core::SessionDirectory directory_;
+  core::SessionInfo session_;
+};
+
+inline void print_rule(char c = '-', int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace collabqos::bench

@@ -1,0 +1,98 @@
+// Figure 8 — "Performance of 2 wireless clients with varying distance".
+//
+// Paper: from x-points 0-3 client A's distance is reduced 100 m -> 50 m
+// and "the SIR of client B improves considerably"; from points 3-5 A
+// moves back out. The base station periodically recomputes SIR and
+// selects the forwarded data-type by threshold.
+//
+// Mechanism note (see EXPERIMENTS.md): under Eq. (1) with fixed transmit
+// power, a nearer A can only raise its received power at the BS, so B's
+// improvement requires the power management the paper describes in §6.3
+// — the BS asks clients whose SIR overshoots the target to back off
+// ("BS requests the client to transmit at a lower power"). The bench
+// shows both series: open loop (B degrades as A closes in) and with the
+// BS's overshoot backoff (A is held at the target, so B is protected and
+// sits considerably above its open-loop SIR at the near points).
+#include <cstdio>
+
+#include "collabqos/wireless/basestation.hpp"
+
+using namespace collabqos;
+using wireless::make_station;
+
+namespace {
+
+constexpr wireless::StationId kA = make_station(1);
+constexpr wireless::StationId kB = make_station(2);
+
+wireless::ChannelParams cell() {
+  wireless::ChannelParams params;
+  params.noise_kappa_db = 70.0;
+  return params;
+}
+
+// The x-axis schedule: A at 100 m, stepping in to 50 m, then back out.
+constexpr double kDistanceOfA[] = {100.0, 83.0, 66.0, 50.0, 75.0, 100.0};
+
+double run_series(bool backoff) {
+  wireless::RadioManagerParams radio;
+  radio.power_control_enabled = false;
+  radio.power_control.target_sir_db = 5.0;
+  radio.power_control.min_power_mw = 0.01;
+  radio.conserve_margin_db = 1.0;
+  wireless::RadioResourceManager manager(cell(), radio);
+  // A is a capable 100 mW device; B is the power-limited thin client the
+  // paper's power management protects ("enable the base station to
+  // receive the information from low power clients with lower error
+  // rates").
+  (void)manager.join(kA, {kDistanceOfA[0], 0.0}, 100.0);
+  (void)manager.join(kB, {80.0, 0.0}, 5.0);
+
+  std::printf("%s\n", backoff
+                          ? "With the BS's overshoot backoff (paper §6.3):"
+                          : "Open loop (fixed 100 mW transmitters):");
+  std::printf("%6s %10s %10s %10s %12s  %s\n", "point", "dist-A",
+              "SIR-A dB", "SIR-B dB", "pwr-A mW", "grade of B");
+  double sir_b_at_point3 = 0.0;
+  for (int point = 0; point < 6; ++point) {
+    (void)manager.move(kA, {kDistanceOfA[point], 0.0});
+    if (backoff) {
+      // Re-seed A at nominal power, then let the BS trim overshoot
+      // (models the client raising power when it can and the BS
+      // requesting reductions when SIR exceeds target + margin).
+      (void)manager.set_power(kA, 100.0);
+      for (int i = 0; i < 4; ++i) (void)manager.conserve_battery();
+    }
+    const double sir_a = manager.sir_db(kA).value_or(-99.0);
+    const double sir_b = manager.sir_db(kB).value_or(-99.0);
+    if (point == 3) sir_b_at_point3 = sir_b;
+    const auto grade_b = manager.grade(kB);
+    std::printf("%6d %10.0f %10.2f %10.2f %12.2f  %s\n", point,
+                kDistanceOfA[point], sir_a, sir_b,
+                manager.state(kA).value().tx_power_mw,
+                grade_b ? std::string(to_string(grade_b.value())).c_str()
+                        : "?");
+  }
+  std::printf("\n");
+  return sir_b_at_point3;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 8: two wireless clients, client A's distance varied\n"
+      "(paper: B's SIR improves considerably at points 0-3, where A is "
+      "near)\n");
+  for (int i = 0; i < 78; ++i) std::putchar('-');
+  std::putchar('\n');
+  const double open_loop_b = run_series(/*backoff=*/false);
+  const double backoff_b = run_series(/*backoff=*/true);
+  std::printf(
+      "shape check: open loop, B loses SIR as A closes in (point 3);\n"
+      "with the BS's power management, B at point 3 sits %.1f dB above the\n"
+      "open-loop value — the \"considerable improvement\" the paper\n"
+      "attributes to power control, with A's battery saved as a bonus.\n",
+      backoff_b - open_loop_b);
+  return 0;
+}

@@ -1,0 +1,240 @@
+// Scenario runner: a parameterized harness for exploring the framework
+// without writing code. Spins up a mixed wired/wireless session, applies
+// load and loss, shares imagery periodically, and prints a per-client
+// delivery summary.
+//
+// Usage:
+//   scenario_runner [--wired N] [--wireless M] [--loss P] [--pf-ramp]
+//                   [--duration S] [--image N] [--seed K]
+//
+//   --wired N      wired workstations (default 3)
+//   --wireless M   thin clients behind the base station (default 2)
+//   --loss P       downlink loss probability on wired client 1 (default 0)
+//   --pf-ramp      ramp page faults 30->100 on wired client 1
+//   --duration S   simulated seconds (default 30)
+//   --image N      shared image edge length (default 256)
+//   --seed K       simulation seed (default 1)
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collabqos/app/image_viewer.hpp"
+#include "collabqos/core/basestation_peer.hpp"
+#include "collabqos/core/client.hpp"
+#include "collabqos/core/thin_client.hpp"
+#include "collabqos/snmp/host_mib.hpp"
+#include "collabqos/util/string_util.hpp"
+
+using namespace collabqos;
+
+namespace {
+
+struct Options {
+  int wired = 3;
+  int wireless = 2;
+  double loss = 0.0;
+  bool pf_ramp = false;
+  double duration_s = 30.0;
+  int image = 256;
+  std::uint64_t seed = 1;
+};
+
+bool parse_args(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next_number = [&](double& out) {
+      if (i + 1 >= argc) return false;
+      const auto value = parse_double(argv[++i]);
+      if (!value) return false;
+      out = *value;
+      return true;
+    };
+    double value = 0.0;
+    if (arg == "--wired" && next_number(value)) {
+      options.wired = static_cast<int>(value);
+    } else if (arg == "--wireless" && next_number(value)) {
+      options.wireless = static_cast<int>(value);
+    } else if (arg == "--loss" && next_number(value)) {
+      options.loss = value;
+    } else if (arg == "--pf-ramp") {
+      options.pf_ramp = true;
+    } else if (arg == "--duration" && next_number(value)) {
+      options.duration_s = value;
+    } else if (arg == "--image" && next_number(value)) {
+      options.image = static_cast<int>(value);
+    } else if (arg == "--seed" && next_number(value)) {
+      options.seed = static_cast<std::uint64_t>(value);
+    } else {
+      std::fprintf(stderr, "unknown or malformed argument: %s\n",
+                   std::string(arg).c_str());
+      return false;
+    }
+  }
+  return options.wired >= 1 && options.wireless >= 0 &&
+         options.loss >= 0.0 && options.loss < 1.0 && options.image >= 16;
+}
+
+struct Wired {
+  net::NodeId node;
+  std::unique_ptr<sim::Host> host;
+  std::unique_ptr<snmp::Agent> agent;
+  std::unique_ptr<snmp::Manager> manager;
+  std::unique_ptr<core::CollaborationClient> client;
+  std::unique_ptr<app::ImageViewer> viewer;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, options)) return 2;
+
+  sim::Simulator simulator;
+  net::Network network(simulator, options.seed);
+  core::SessionDirectory directory;
+  pubsub::AttributeSet objective;
+  objective.set("domain", "scenario");
+  const core::SessionInfo session =
+      directory.create("scenario", objective, {}).take();
+
+  // Wired stations.
+  std::vector<Wired> wired;
+  for (int i = 0; i < options.wired; ++i) {
+    Wired w;
+    const std::string name = "wired-" + std::to_string(i + 1);
+    w.node = network.add_node(name);
+    w.host = std::make_unique<sim::Host>(simulator, name);
+    w.agent = std::make_unique<snmp::Agent>(network, w.node, "public", "rw");
+    snmp::install_host_instrumentation(*w.agent, *w.host, simulator);
+    snmp::install_interface_instrumentation(*w.agent, network, w.node);
+    w.manager = std::make_unique<snmp::Manager>(network, w.node);
+    core::ClientConfig config;
+    config.name = name;
+    core::InferenceEngine engine(core::QoSContract{},
+                                 core::PolicyDatabase::with_defaults());
+    w.client = std::make_unique<core::CollaborationClient>(
+        network, w.node, session, static_cast<std::uint64_t>(i + 1),
+        w.manager.get(), std::move(engine), config);
+    w.viewer = std::make_unique<app::ImageViewer>(*w.client);
+    wired.push_back(std::move(w));
+  }
+
+  // Perturbations on wired client 1 (index 1 when present, else 0):
+  const std::size_t victim = wired.size() > 1 ? 1 : 0;
+  if (options.pf_ramp) {
+    wired[victim].host->set_page_fault_process(
+        std::make_unique<sim::RampProcess>(
+            30.0, 100.0, simulator.now(),
+            sim::Duration::seconds(options.duration_s)));
+  }
+  if (options.loss > 0.0) {
+    net::LinkParams lossy;
+    lossy.loss_probability = options.loss;
+    (void)network.set_link_params(wired[victim].node, lossy);
+  }
+
+  // Wireless cell.
+  std::unique_ptr<core::BaseStationPeer> base_station;
+  std::vector<std::unique_ptr<core::ThinClient>> thin;
+  if (options.wireless > 0) {
+    core::BaseStationOptions bs_options;
+    bs_options.channel.noise_kappa_db = 70.0;
+    bs_options.radio.power_control_enabled = false;
+    base_station = std::make_unique<core::BaseStationPeer>(
+        network, network.add_node("bs"), session, 900, bs_options);
+    for (int i = 0; i < options.wireless; ++i) {
+      core::ThinClientConfig config;
+      config.name = "palm-" + std::to_string(i + 1);
+      // Spread across the cell so grades differ.
+      config.position = {30.0 + 45.0 * i, 0.0};
+      thin.push_back(std::make_unique<core::ThinClient>(
+          network, network.add_node(config.name), session,
+          wireless::make_station(static_cast<std::uint32_t>(i + 1)),
+          static_cast<std::uint64_t>(100 + i), config));
+      if (!thin.back()->attach(*base_station).ok()) {
+        std::fprintf(stderr, "attach failed for %s\n", config.name.c_str());
+        return 1;
+      }
+    }
+  }
+
+  // Drive: wired-1 shares an image every 2 simulated seconds.
+  const media::Image image = render_scene(
+      media::make_crisis_scene(options.image, options.image, 1),
+      options.seed);
+  int shares = 0;
+  sim::PeriodicTimer share_timer(
+      simulator, sim::Duration::seconds(2.0), [&] {
+        (void)wired[0].viewer->share(image,
+                                     "img-" + std::to_string(++shares),
+                                     "periodic incident overview");
+      });
+  share_timer.start();
+  simulator.run_until(simulator.now() +
+                      sim::Duration::seconds(options.duration_s));
+  share_timer.stop();
+  simulator.run_until(simulator.now() + sim::Duration::seconds(3.0));
+
+  // ---- report -----------------------------------------------------------
+  std::printf("scenario: %d wired, %d wireless, loss=%.2f, pf-ramp=%s, "
+              "%.0fs, image %dx%d, seed %llu\n",
+              options.wired, options.wireless, options.loss,
+              options.pf_ramp ? "yes" : "no", options.duration_s,
+              options.image, options.image,
+              static_cast<unsigned long long>(options.seed));
+  for (int i = 0; i < 78; ++i) std::putchar('-');
+  std::putchar('\n');
+  std::printf("%-12s %9s %9s %9s %9s %12s\n", "client", "images", "sketches",
+              "texts", "dropped", "last-packets");
+  for (std::size_t i = 0; i < wired.size(); ++i) {
+    std::size_t images = 0, sketches = 0, texts = 0;
+    for (const app::Display& d : wired[i].viewer->displays()) {
+      switch (d.modality) {
+        case media::Modality::image: ++images; break;
+        case media::Modality::sketch: ++sketches; break;
+        default: ++texts; break;
+      }
+    }
+    const auto& stats = wired[i].client->peer_stats();
+    std::printf("%-12s %9zu %9zu %9zu %9llu %12d\n",
+                wired[i].client->name().c_str(), images, sketches, texts,
+                static_cast<unsigned long long>(stats.incomplete_dropped),
+                wired[i].client->last_decision().packets);
+  }
+  for (const auto& client : thin) {
+    const auto& got = client->received_by_modality();
+    const auto count = [&got](media::Modality m) {
+      const auto it = got.find(m);
+      return it == got.end() ? std::size_t{0} : it->second;
+    };
+    const auto grade = base_station->grade(client->station());
+    std::printf("%-12s %9zu %9zu %9zu %9s %12s\n", "(wireless)",
+                count(media::Modality::image), count(media::Modality::sketch),
+                count(media::Modality::text), "-",
+                grade ? std::string(to_string(grade.value())).c_str() : "?");
+  }
+  for (int i = 0; i < 78; ++i) std::putchar('-');
+  std::putchar('\n');
+  std::printf("network: %llu datagrams sent, %llu delivered, %llu lost, "
+              "%.1f MiB carried\n",
+              static_cast<unsigned long long>(network.stats().datagrams_sent),
+              static_cast<unsigned long long>(
+                  network.stats().datagrams_delivered),
+              static_cast<unsigned long long>(
+                  network.stats().datagrams_dropped_loss),
+              static_cast<double>(network.stats().bytes_delivered) /
+                  (1024.0 * 1024.0));
+  if (base_station) {
+    std::printf("base station: %llu downlink unicasts, %llu suppressed by "
+                "grade, %llu by profile\n",
+                static_cast<unsigned long long>(
+                    base_station->stats().downlink_unicasts),
+                static_cast<unsigned long long>(
+                    base_station->stats().suppressed_by_grade),
+                static_cast<unsigned long long>(
+                    base_station->stats().suppressed_by_profile));
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// The chat area (paper §4.1): one of the three application-interface
+// entities. Messages are concurrency-controlled operations on a shared
+// room object, so every replica renders the same transcript in the same
+// order regardless of network interleavings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "collabqos/core/client.hpp"
+
+namespace collabqos::app {
+
+struct ChatMessage {
+  std::uint64_t author = 0;
+  std::uint64_t lamport = 0;
+  std::string text;
+};
+
+class ChatArea {
+ public:
+  /// Attach to a client; `room` names the shared transcript object.
+  ChatArea(core::CollaborationClient& client, std::string room = "chat.room");
+
+  /// Post into the session. `audience` defaults to everyone.
+  Status post(std::string text,
+              pubsub::Selector audience = pubsub::Selector::always());
+
+  /// The transcript in total order (identical across replicas).
+  [[nodiscard]] std::vector<ChatMessage> transcript() const;
+
+  [[nodiscard]] const std::string& room() const noexcept { return room_; }
+
+ private:
+  core::CollaborationClient& client_;
+  std::string room_;
+};
+
+}  // namespace collabqos::app

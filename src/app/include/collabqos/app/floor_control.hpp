@@ -1,0 +1,58 @@
+// Floor control — the arbitration half of the paper's concurrency
+// requirement (§2: "Concurrency Control is the process of arbitration
+// and consistency maintenance when multiple clients concurrently
+// manipulate the same set of shared objects").
+//
+// The op-log gives consistency; this gives arbitration: an exclusive
+// "floor" (edit token) per shared resource, granted in the deterministic
+// total order of requests. Because the holder is *derived* from the
+// replicated log, every client independently computes the same holder —
+// no token messages, no lock server, and a crashed holder's floor can be
+// revoked by any participant appending a release on its behalf.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "collabqos/core/client.hpp"
+
+namespace collabqos::app {
+
+class FloorControl {
+ public:
+  /// Attach to `client` for the shared resource `resource` (e.g.
+  /// "whiteboard.main"). The floor state lives in the operation log of
+  /// object "floor/<resource>".
+  FloorControl(core::CollaborationClient& client, std::string resource);
+
+  /// Ask for the floor (idempotent while queued/holding).
+  Status request();
+  /// Give the floor up (only meaningful while holding or queued).
+  Status release();
+  /// Revoke another participant's floor/queue position (recovery path
+  /// for crashed holders; subject to application policy).
+  Status revoke(std::uint64_t peer);
+
+  /// The current holder, derived from the replicated log.
+  [[nodiscard]] std::optional<std::uint64_t> holder() const;
+  /// Waiting peers behind the holder, in grant order.
+  [[nodiscard]] std::vector<std::uint64_t> queue() const;
+  [[nodiscard]] bool has_floor() const {
+    return holder() == client_.id();
+  }
+
+  [[nodiscard]] const std::string& resource() const noexcept {
+    return resource_;
+  }
+
+ private:
+  /// Fold the log into the ordered list of outstanding requesters.
+  [[nodiscard]] std::vector<std::uint64_t> outstanding() const;
+
+  core::CollaborationClient& client_;
+  std::string resource_;
+  std::string object_id_;
+};
+
+}  // namespace collabqos::app

@@ -1,0 +1,74 @@
+#include "collabqos/core/adaptation.hpp"
+
+#include <algorithm>
+
+#include "collabqos/media/quality.hpp"
+
+namespace collabqos::core {
+
+Result<std::pair<media::MediaObject, MediaAdaptationReport>> adapt_media(
+    const media::MediaObject& input, const AdaptationDecision& decision,
+    const media::TransformerSuite& suite) {
+  MediaAdaptationReport report;
+  report.source_modality = input.modality();
+
+  const auto finish_with_transform =
+      [&](const media::MediaObject& object,
+          media::Modality target) -> Result<
+                                      std::pair<media::MediaObject,
+                                                MediaAdaptationReport>> {
+    auto transformed = suite.transform(object, target);
+    if (!transformed) return transformed.error();
+    report.presented_modality = transformed.value().modality();
+    report.bytes_used = transformed.value().size_bytes();
+    return std::pair{std::move(transformed).take(), report};
+  };
+
+  if (input.modality() != media::Modality::image) {
+    // Non-image media only ever change modality.
+    const media::Modality target =
+        weaker_modality(input.modality(), decision.modality);
+    return finish_with_transform(input, target);
+  }
+
+  const auto* image_media = input.get_if<media::ImageMedia>();
+  report.packets_available =
+      static_cast<int>(image_media->encoded.packets.size());
+
+  // Zero budget or a weaker modality decision: abstract the image.
+  if (decision.packets <= 0 ||
+      modality_rank(decision.modality) < modality_rank(media::Modality::image)) {
+    const media::Modality target =
+        decision.packets <= 0 && decision.modality == media::Modality::image
+            ? media::Modality::text  // no budget for pixels at all
+            : decision.modality;
+    return finish_with_transform(input, target);
+  }
+
+  // Truncate the progressive stream to the packet budget.
+  const int used =
+      std::min(report.packets_available, decision.packets);
+  media::ImageMedia truncated;
+  truncated.width = image_media->width;
+  truncated.height = image_media->height;
+  truncated.channels = image_media->channels;
+  truncated.description = image_media->description;
+  truncated.encoded.header = image_media->encoded.header;
+  truncated.encoded.packets.assign(
+      image_media->encoded.packets.begin(),
+      image_media->encoded.packets.begin() + used);
+
+  report.packets_used = used;
+  report.presented_modality = media::Modality::image;
+  report.bytes_used = truncated.encoded.total_bytes();
+  const auto pixels = static_cast<std::size_t>(truncated.width) *
+                      static_cast<std::size_t>(truncated.height);
+  const std::size_t raw_bytes =
+      pixels * static_cast<std::size_t>(truncated.channels);
+  report.bits_per_pixel = media::bits_per_pixel(report.bytes_used, pixels);
+  report.compression_ratio =
+      media::compression_ratio(raw_bytes, report.bytes_used);
+  return std::pair{media::MediaObject(std::move(truncated)), report};
+}
+
+}  // namespace collabqos::core

@@ -1,0 +1,35 @@
+#include "collabqos/core/contract.hpp"
+
+namespace collabqos::core {
+
+std::vector<std::string> QoSContract::violations(
+    const pubsub::AttributeSet& state) const {
+  std::vector<std::string> violated;
+  for (const ParameterConstraint& constraint : constraints) {
+    const pubsub::AttributeValue* value = state.find(constraint.parameter);
+    if (value == nullptr) continue;  // unobserved parameters cannot violate
+    const auto number = value->as_number();
+    if (!number) continue;
+    if (!constraint.satisfied_by(*number)) {
+      violated.push_back(constraint.parameter);
+    }
+  }
+  return violated;
+}
+
+int modality_rank(media::Modality modality) noexcept {
+  switch (modality) {
+    case media::Modality::text: return 0;
+    case media::Modality::speech: return 1;
+    case media::Modality::sketch: return 2;
+    case media::Modality::image: return 3;
+  }
+  return 0;
+}
+
+media::Modality weaker_modality(media::Modality a,
+                                media::Modality b) noexcept {
+  return modality_rank(a) <= modality_rank(b) ? a : b;
+}
+
+}  // namespace collabqos::core

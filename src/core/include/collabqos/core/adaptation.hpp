@@ -1,0 +1,36 @@
+// Applying an AdaptationDecision to a media object: truncate the
+// progressive image stream to the decided packet budget, and/or step the
+// modality down (image -> sketch -> text -> speech) through the
+// information transformer. This is the function the paper's Figures 6/7
+// measure: packets accepted, bits-per-pixel, compression ratio.
+#pragma once
+
+#include "collabqos/core/inference.hpp"
+#include "collabqos/media/media_object.hpp"
+#include "collabqos/media/transform.hpp"
+#include "collabqos/util/result.hpp"
+
+namespace collabqos::core {
+
+/// What the adaptation did and what it cost (Figure 6/7 row material).
+struct MediaAdaptationReport {
+  media::Modality source_modality = media::Modality::text;
+  media::Modality presented_modality = media::Modality::text;
+  int packets_available = 0;
+  int packets_used = 0;
+  std::size_t bytes_used = 0;
+  double bits_per_pixel = 0.0;     ///< images only
+  double compression_ratio = 0.0;  ///< images only, vs raw size
+};
+
+/// Adapt `input` per `decision`. Images are truncated to
+/// `decision.packets` progressive packets and decoded; if the decision's
+/// modality is weaker than image (or the budget is zero), the object is
+/// transformed via `suite`. Non-image media pass through modality
+/// conversion only.
+[[nodiscard]] Result<std::pair<media::MediaObject, MediaAdaptationReport>>
+adapt_media(const media::MediaObject& input,
+            const AdaptationDecision& decision,
+            const media::TransformerSuite& suite);
+
+}  // namespace collabqos::core

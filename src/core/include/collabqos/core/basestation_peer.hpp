@@ -1,0 +1,141 @@
+// The base station (paper §4.2): "functions as the control coordinator
+// while maintaining the wireless client state ... links the wireless
+// network to the rest of the distributed collaborative session by
+// joining the multicast session and is the gateway to the contributions
+// of the wireless clients."
+//
+// Responsibilities implemented here:
+//  * peer in the session multicast group;
+//  * per-wireless-client profile registry (semantic interpretation for
+//    thin clients happens HERE, not at the clients);
+//  * SIR-driven modality grading per client (text / text+sketch / full
+//    image thresholds), power control and battery conservation via the
+//    radio resource manager;
+//  * uplink: unicast event from a wireless client is multicast to the
+//    session and unicast to the other wireless clients;
+//  * downlink: multicast traffic is matched against each wireless
+//    profile, adapted to the client's grade, and unicast to it.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "collabqos/core/adaptation.hpp"
+#include "collabqos/core/events.hpp"
+#include "collabqos/core/inference.hpp"
+#include "collabqos/core/session.hpp"
+#include "collabqos/pubsub/peer.hpp"
+#include "collabqos/wireless/basestation.hpp"
+
+namespace collabqos::core {
+
+/// Registration request from a thin client.
+struct AttachRequest {
+  wireless::StationId station{};
+  std::uint64_t peer_id = 0;
+  net::Address address;            ///< the client's unicast endpoint
+  pubsub::Profile profile;         ///< kept and evaluated at the BS
+  wireless::Position position{};
+  double tx_power_mw = 100.0;
+  wireless::BatteryState battery{};
+};
+
+struct BaseStationStats {
+  std::uint64_t uplink_events = 0;
+  std::uint64_t multicast_relayed = 0;
+  std::uint64_t downlink_unicasts = 0;
+  std::uint64_t suppressed_by_grade = 0;
+  std::uint64_t suppressed_by_profile = 0;
+  std::uint64_t adaptation_failures = 0;
+};
+
+struct BaseStationOptions {
+  pubsub::PeerOptions peer{};
+  wireless::ChannelParams channel{};
+  wireless::RadioManagerParams radio{};
+  /// Re-run power control after joins/moves/power changes.
+  bool auto_balance = true;
+  /// Admission cap on simultaneous wireless clients (paper §6.3.3 "there
+  /// exists an upper limit to the number of clients"); nullopt = none.
+  std::optional<std::size_t> client_limit;
+};
+
+class BaseStationPeer {
+ public:
+  BaseStationPeer(net::Network& network, net::NodeId node,
+                  const SessionInfo& session, std::uint64_t peer_id,
+                  BaseStationOptions options = {});
+  ~BaseStationPeer();
+  BaseStationPeer(const BaseStationPeer&) = delete;
+  BaseStationPeer& operator=(const BaseStationPeer&) = delete;
+
+  /// Admit a wireless client; returns the basic service assessment
+  /// (paper §4.2). Fails when the id is taken or the cell is full.
+  Result<wireless::RadioResourceManager::ServiceAssessment> attach(
+      AttachRequest request);
+  Status detach(wireless::StationId station);
+
+  /// Profile updates pushed by the thin client ("profiles are maintained
+  /// and are modifiable by clients").
+  Status update_profile(wireless::StationId station, pubsub::Profile profile);
+
+  /// Mobility / radio updates.
+  Status move(wireless::StationId station, wireless::Position position);
+  Status set_power(wireless::StationId station, double tx_power_mw);
+
+  /// Uplink entry point: a registered client's event arrives by unicast
+  /// (called from the network receive path; exposed for tests).
+  void on_uplink(const pubsub::SemanticMessage& message,
+                 net::Address source);
+
+  [[nodiscard]] wireless::RadioResourceManager& radio() noexcept {
+    return *radio_;
+  }
+  [[nodiscard]] const BaseStationStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] net::Address address() const noexcept {
+    return peer_->address();
+  }
+  [[nodiscard]] std::size_t client_count() const noexcept {
+    return clients_.size();
+  }
+  [[nodiscard]] Result<pubsub::Profile> profile_of(
+      wireless::StationId station) const;
+
+  /// The modality grade currently assigned to a client.
+  [[nodiscard]] Result<wireless::ModalityGrade> grade(
+      wireless::StationId station) const {
+    return radio_->grade(station);
+  }
+
+ private:
+  struct ClientEntry {
+    std::uint64_t peer_id = 0;
+    net::Address address;
+    pubsub::Profile profile;
+  };
+
+  void on_multicast(const pubsub::SemanticMessage& message);
+  /// Adapt and unicast `message` to one wireless client if its profile
+  /// and grade admit it. `exclude_station` skips the uplink originator.
+  void forward_to_client(wireless::StationId station,
+                         const ClientEntry& entry,
+                         const pubsub::SemanticMessage& message);
+  [[nodiscard]] AdaptationDecision decision_for(
+      wireless::ModalityGrade grade, const pubsub::Profile& profile) const;
+  void rebalance();
+
+  net::Network& network_;
+  BaseStationOptions options_;
+  std::unique_ptr<pubsub::SemanticPeer> peer_;
+  std::unique_ptr<wireless::RadioResourceManager> radio_;
+  std::map<std::uint32_t, ClientEntry> clients_;
+  std::map<net::Address, wireless::StationId> by_address_;
+  media::TransformerSuite transformers_;
+  BaseStationStats stats_;
+};
+
+}  // namespace collabqos::core

@@ -1,0 +1,56 @@
+// QoS contracts (paper §5.2): "Users can specify individual system and
+// application parameters that will make up the local system state, as
+// well as the constraints subject on these parameters. These user
+// policies define a QoS 'contract' that needs to be satisfied by the
+// inference engine."
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "collabqos/media/media_object.hpp"
+#include "collabqos/pubsub/attribute.hpp"
+
+namespace collabqos::core {
+
+/// A bound on one observed system/application parameter. The contract is
+/// "satisfied" while every constraint holds; when one is violated the
+/// inference engine must adapt (and reports which constraint fired).
+struct ParameterConstraint {
+  std::string parameter;          ///< state attribute key, e.g. "cpu.load"
+  std::optional<double> minimum;  ///< inclusive
+  std::optional<double> maximum;  ///< inclusive
+
+  [[nodiscard]] bool satisfied_by(double value) const noexcept {
+    if (minimum && value < *minimum) return false;
+    if (maximum && value > *maximum) return false;
+    return true;
+  }
+};
+
+struct QoSContract {
+  std::vector<ParameterConstraint> constraints;
+
+  /// Quality floor/caps the adaptation must respect.
+  int min_packets = 0;    ///< never adapt below this many image packets
+  int max_packets = 16;   ///< resource cap regardless of system state
+  /// Weakest modality the user will tolerate (text < speech < sketch <
+  /// image in richness order; the engine may degrade only this far).
+  media::Modality min_modality = media::Modality::text;
+  /// Preferred modality when resources allow.
+  media::Modality preferred_modality = media::Modality::image;
+
+  /// Names of constraints violated by `state` ("" keyed parameters are
+  /// skipped when absent from the state set).
+  [[nodiscard]] std::vector<std::string> violations(
+      const pubsub::AttributeSet& state) const;
+};
+
+/// Richness order used when degrading modalities (text weakest).
+[[nodiscard]] int modality_rank(media::Modality modality) noexcept;
+/// The weaker (lower-rank) of two modalities.
+[[nodiscard]] media::Modality weaker_modality(media::Modality a,
+                                              media::Modality b) noexcept;
+
+}  // namespace collabqos::core

@@ -1,0 +1,12 @@
+// Well-known event-type tags on the session bus.
+#pragma once
+
+#include <string_view>
+
+namespace collabqos::core::events {
+
+inline constexpr std::string_view kMedia = "media.share";
+inline constexpr std::string_view kOperation = "object.op";
+inline constexpr std::string_view kState = "state.update";
+
+}  // namespace collabqos::core::events

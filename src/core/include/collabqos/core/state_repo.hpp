@@ -1,0 +1,62 @@
+// The client state repository (paper §4.1): the application interface
+// "monitors all local objects that may be of interest to the client and
+// encodes their state as entries in the client's state repository";
+// remote changes arrive through the communication module and update the
+// same entries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "collabqos/serde/wire.hpp"
+#include "collabqos/util/result.hpp"
+
+namespace collabqos::core {
+
+/// One versioned shared-object entry.
+struct StateEntry {
+  std::string object_id;
+  std::string object_type;     ///< "whiteboard.stroke", "image", "chat"
+  std::uint64_t version = 0;   ///< concurrency-control assigned
+  std::uint64_t editor = 0;    ///< peer that produced this version
+  serde::Bytes state;
+
+  [[nodiscard]] serde::Bytes encode() const;
+  [[nodiscard]] static Result<StateEntry> decode(
+      std::span<const std::uint8_t> bytes);
+};
+
+class StateRepository {
+ public:
+  using ChangeHandler = std::function<void(const StateEntry&)>;
+
+  /// Upsert an entry; returns false (and ignores the write) when the
+  /// incoming version is not newer than the stored one — the idempotence
+  /// rule that makes replicated application harmless.
+  bool apply(StateEntry entry);
+
+  [[nodiscard]] const StateEntry* find(std::string_view object_id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  bool erase(const std::string& object_id);
+
+  /// All entries of a type, id-ordered.
+  [[nodiscard]] std::vector<const StateEntry*> by_type(
+      std::string_view object_type) const;
+
+  /// Observe every applied (accepted) change.
+  void on_change(ChangeHandler handler) { handler_ = std::move(handler); }
+
+  /// Deterministic digest over (id, version, bytes) — used by tests to
+  /// assert replica convergence.
+  [[nodiscard]] std::uint64_t digest() const;
+
+ private:
+  std::map<std::string, StateEntry, std::less<>> entries_;
+  ChangeHandler handler_;
+};
+
+}  // namespace collabqos::core

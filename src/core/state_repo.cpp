@@ -1,0 +1,89 @@
+#include "collabqos/core/state_repo.hpp"
+
+namespace collabqos::core {
+
+serde::Bytes StateEntry::encode() const {
+  serde::Writer w(state.size() + 64);
+  w.string(object_id);
+  w.string(object_type);
+  w.varint(version);
+  w.varint(editor);
+  w.blob(state);
+  return std::move(w).take();
+}
+
+Result<StateEntry> StateEntry::decode(std::span<const std::uint8_t> bytes) {
+  serde::Reader r(bytes);
+  StateEntry entry;
+  auto object_id = r.string();
+  if (!object_id) return object_id.error();
+  entry.object_id = std::move(object_id).take();
+  auto object_type = r.string();
+  if (!object_type) return object_type.error();
+  entry.object_type = std::move(object_type).take();
+  auto version = r.varint();
+  if (!version) return version.error();
+  entry.version = version.value();
+  auto editor = r.varint();
+  if (!editor) return editor.error();
+  entry.editor = editor.value();
+  auto state = r.blob();
+  if (!state) return state.error();
+  entry.state = std::move(state).take();
+  return entry;
+}
+
+bool StateRepository::apply(StateEntry entry) {
+  auto it = entries_.find(entry.object_id);
+  if (it != entries_.end()) {
+    const StateEntry& existing = it->second;
+    // Total order on (version, editor): higher version wins; the editor
+    // id breaks exact ties deterministically at every replica.
+    if (entry.version < existing.version ||
+        (entry.version == existing.version &&
+         entry.editor <= existing.editor)) {
+      return false;
+    }
+    it->second = entry;
+  } else {
+    it = entries_.emplace(entry.object_id, entry).first;
+  }
+  if (handler_) handler_(it->second);
+  return true;
+}
+
+const StateEntry* StateRepository::find(std::string_view object_id) const {
+  const auto it = entries_.find(object_id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool StateRepository::erase(const std::string& object_id) {
+  return entries_.erase(object_id) > 0;
+}
+
+std::vector<const StateEntry*> StateRepository::by_type(
+    std::string_view object_type) const {
+  std::vector<const StateEntry*> out;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.object_type == object_type) out.push_back(&entry);
+  }
+  return out;
+}
+
+std::uint64_t StateRepository::digest() const {
+  // FNV-1a over the canonical entry order.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto mix = [&hash](const std::uint8_t byte) {
+    hash = (hash ^ byte) * 0x100000001b3ULL;
+  };
+  for (const auto& [id, entry] : entries_) {
+    for (const char c : id) mix(static_cast<std::uint8_t>(c));
+    for (int shift = 0; shift < 64; shift += 8) {
+      mix(static_cast<std::uint8_t>(entry.version >> shift));
+    }
+    for (const std::uint8_t byte : entry.state) mix(byte);
+  }
+  return hash;
+}
+
+}  // namespace collabqos::core

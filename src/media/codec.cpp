@@ -1,0 +1,435 @@
+#include "collabqos/media/codec.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "collabqos/media/bitio.hpp"
+#include "collabqos/media/haar.hpp"
+
+namespace collabqos::media {
+
+namespace {
+
+constexpr std::uint8_t kHeaderMagic = 0xC1;
+
+/// Flattened per-coefficient state across all channels, in global
+/// progressive scan order (channel-major, subband or raster scan within
+/// a channel).
+struct CoefficientSet {
+  std::vector<std::uint32_t> magnitudes;
+  std::vector<std::uint8_t> signs;  // 1 = negative
+  int top_plane = 0;
+};
+
+/// Scan permutation for one channel plane.
+std::vector<std::uint32_t> scan_order_for(int width, int height, int levels,
+                                          CodecParams::Scan scan) {
+  if (scan == CodecParams::Scan::raster) {
+    std::vector<std::uint32_t> order(
+        static_cast<std::size_t>(width) * static_cast<std::size_t>(height));
+    for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    return order;
+  }
+  return subband_scan_order(width, height, levels);
+}
+
+/// Reversible YCoCg-R forward lift on one RGB pixel.
+inline void ycocg_forward(std::int32_t& r, std::int32_t& g,
+                          std::int32_t& b) noexcept {
+  const std::int32_t co = r - b;
+  const std::int32_t t = b + (co >> 1);
+  const std::int32_t cg = g - t;
+  const std::int32_t y = t + (cg >> 1);
+  r = y;
+  g = co;
+  b = cg;
+}
+
+/// Exact inverse of ycocg_forward.
+inline void ycocg_inverse(std::int32_t& y, std::int32_t& co,
+                          std::int32_t& cg) noexcept {
+  const std::int32_t t = y - (cg >> 1);
+  const std::int32_t g = cg + t;
+  const std::int32_t b = t - (co >> 1);
+  const std::int32_t r = b + co;
+  y = r;
+  co = g;
+  cg = b;
+}
+
+/// Build the per-channel sample planes (after optional decorrelation).
+std::vector<CoefficientPlane> build_planes(const Image& image, int levels,
+                                           bool ycocg) {
+  const int channels = image.channels();
+  const std::size_t pixels = image.pixel_count();
+  std::vector<CoefficientPlane> planes(static_cast<std::size_t>(channels));
+  for (int c = 0; c < channels; ++c) {
+    planes[static_cast<std::size_t>(c)].width = image.width();
+    planes[static_cast<std::size_t>(c)].height = image.height();
+    planes[static_cast<std::size_t>(c)].levels = levels;
+    planes[static_cast<std::size_t>(c)].data.resize(pixels);
+  }
+  const auto& src = image.pixels();
+  for (std::size_t p = 0; p < pixels; ++p) {
+    if (channels == 3) {
+      std::int32_t r = src[p * 3];
+      std::int32_t g = src[p * 3 + 1];
+      std::int32_t b = src[p * 3 + 2];
+      if (ycocg) ycocg_forward(r, g, b);
+      planes[0].data[p] = r;
+      planes[1].data[p] = g;
+      planes[2].data[p] = b;
+    } else {
+      planes[0].data[p] = src[p];
+    }
+  }
+  for (CoefficientPlane& plane : planes) forward_haar_inplace(plane);
+  return planes;
+}
+
+CoefficientSet flatten(const Image& image, const CodecParams& params,
+                       bool ycocg) {
+  const std::vector<CoefficientPlane> planes =
+      build_planes(image, params.levels, ycocg);
+  const auto order = scan_order_for(image.width(), image.height(),
+                                    params.levels, params.scan);
+  CoefficientSet set;
+  set.magnitudes.reserve(order.size() * planes.size());
+  set.signs.reserve(set.magnitudes.capacity());
+  std::uint32_t max_magnitude = 0;
+  for (const CoefficientPlane& plane : planes) {
+    for (const std::uint32_t index : order) {
+      const std::int32_t value = plane.data[index];
+      const auto magnitude =
+          static_cast<std::uint32_t>(value < 0 ? -value : value);
+      set.magnitudes.push_back(magnitude);
+      set.signs.push_back(value < 0 ? 1 : 0);
+      max_magnitude = std::max(max_magnitude, magnitude);
+    }
+  }
+  set.top_plane =
+      max_magnitude > 0 ? 32 - std::countl_zero(max_magnitude) - 1 : 0;
+  return set;
+}
+
+/// One coded pass (byte-aligned blob).
+using Pass = std::vector<std::uint8_t>;
+
+std::vector<Pass> encode_passes(const CoefficientSet& set) {
+  const std::size_t n = set.magnitudes.size();
+  std::vector<bool> significant(n, false);
+  std::vector<Pass> passes;
+  for (int plane = set.top_plane; plane >= 0; --plane) {
+    const std::uint32_t threshold_bit = 1u << plane;
+    // Refinement pass first records who was significant *before* this
+    // plane's significance pass; emit significance first, refinement
+    // second, but snapshot membership up front.
+    BitWriter significance;
+    std::uint64_t gap = 0;
+    std::vector<std::uint32_t> newly_significant;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (significant[i]) continue;
+      if ((set.magnitudes[i] & threshold_bit) != 0) {
+        significance.put_run(gap);
+        significance.put(set.signs[i] != 0);
+        gap = 0;
+        newly_significant.push_back(static_cast<std::uint32_t>(i));
+      } else {
+        ++gap;
+      }
+    }
+    significance.put_run(gap);
+
+    BitWriter refinement;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!significant[i]) continue;
+      refinement.put((set.magnitudes[i] & threshold_bit) != 0);
+    }
+    for (const std::uint32_t i : newly_significant) significant[i] = true;
+
+    passes.push_back(significance.finish());
+    passes.push_back(refinement.finish());
+  }
+  return passes;
+}
+
+/// Group `passes` into at most `max_packets` packets, preserving order.
+/// Early passes are tiny, so grouping merges from the front to keep the
+/// largest (finest) passes in their own packets.
+std::vector<serde::Bytes> frame_packets(const std::vector<Pass>& passes,
+                                        int max_packets) {
+  const std::size_t pass_count = passes.size();
+  const std::size_t packet_count =
+      std::min<std::size_t>(static_cast<std::size_t>(std::max(1, max_packets)),
+                            pass_count);
+  // Distribute surplus passes over the first packets.
+  const std::size_t base = pass_count / packet_count;
+  const std::size_t extra = pass_count % packet_count;
+  std::vector<serde::Bytes> packets;
+  packets.reserve(packet_count);
+  std::size_t cursor = 0;
+  for (std::size_t p = 0; p < packet_count; ++p) {
+    const std::size_t group = base + (p < extra ? 1 : 0);
+    serde::Writer w;
+    w.varint(group);
+    for (std::size_t i = 0; i < group; ++i) {
+      w.blob(passes[cursor + i]);
+    }
+    cursor += group;
+    packets.push_back(std::move(w).take());
+  }
+  assert(cursor == pass_count);
+  return packets;
+}
+
+struct Header {
+  int width = 0;
+  int height = 0;
+  int channels = 0;
+  int levels = 0;
+  int top_plane = 0;
+  std::uint32_t packet_count = 0;
+  bool raster_scan = false;
+  bool ycocg = false;
+};
+
+serde::Bytes encode_header(const Header& h) {
+  serde::Writer w(24);
+  w.u8(kHeaderMagic);
+  w.varint(static_cast<std::uint64_t>(h.width));
+  w.varint(static_cast<std::uint64_t>(h.height));
+  w.u8(static_cast<std::uint8_t>(h.channels));
+  w.u8(static_cast<std::uint8_t>(h.levels));
+  w.u8(static_cast<std::uint8_t>(h.top_plane));
+  w.varint(h.packet_count);
+  w.u8(static_cast<std::uint8_t>((h.raster_scan ? 1 : 0) |
+                                 (h.ycocg ? 2 : 0)));
+  return std::move(w).take();
+}
+
+Result<Header> decode_header(std::span<const std::uint8_t> bytes) {
+  serde::Reader r(bytes);
+  auto magic = r.u8();
+  if (!magic) return magic.error();
+  if (magic.value() != kHeaderMagic) {
+    return Error{Errc::malformed, "not a progressive image header"};
+  }
+  Header h;
+  auto width = r.varint();
+  if (!width) return width.error();
+  auto height = r.varint();
+  if (!height) return height.error();
+  if (width.value() == 0 || height.value() == 0 ||
+      width.value() > 1u << 16 || height.value() > 1u << 16) {
+    return Error{Errc::malformed, "implausible dimensions"};
+  }
+  h.width = static_cast<int>(width.value());
+  h.height = static_cast<int>(height.value());
+  auto channels = r.u8();
+  if (!channels) return channels.error();
+  if (channels.value() != 1 && channels.value() != 3) {
+    return Error{Errc::malformed, "unsupported channel count"};
+  }
+  h.channels = channels.value();
+  auto levels = r.u8();
+  if (!levels) return levels.error();
+  if (levels.value() > 12) return Error{Errc::malformed, "too many levels"};
+  h.levels = levels.value();
+  auto top = r.u8();
+  if (!top) return top.error();
+  if (top.value() > 31) return Error{Errc::malformed, "bad top plane"};
+  h.top_plane = top.value();
+  auto packet_count = r.varint();
+  if (!packet_count) return packet_count.error();
+  h.packet_count = static_cast<std::uint32_t>(packet_count.value());
+  auto flags = r.u8();
+  if (!flags) return flags.error();
+  if (flags.value() > 3) return Error{Errc::malformed, "unknown flags"};
+  h.raster_scan = (flags.value() & 1) != 0;
+  h.ycocg = (flags.value() & 2) != 0;
+  return h;
+}
+
+}  // namespace
+
+std::size_t EncodedImage::prefix_bytes(std::size_t packet_count) const {
+  std::size_t total = header.size();
+  const std::size_t count = std::min(packet_count, packets.size());
+  for (std::size_t i = 0; i < count; ++i) total += packets[i].size();
+  return total;
+}
+
+EncodedImage encode_progressive(const Image& image, CodecParams params) {
+  assert(!image.empty());
+  const bool ycocg = params.color_transform && image.channels() == 3;
+  const CoefficientSet set = flatten(image, params, ycocg);
+  const std::vector<Pass> passes = encode_passes(set);
+  EncodedImage out;
+  out.packets = frame_packets(passes, params.max_packets);
+  Header h;
+  h.width = image.width();
+  h.height = image.height();
+  h.channels = image.channels();
+  h.levels = params.levels;
+  h.top_plane = set.top_plane;
+  h.packet_count = static_cast<std::uint32_t>(out.packets.size());
+  h.raster_scan = params.scan == CodecParams::Scan::raster;
+  h.ycocg = ycocg;
+  out.header = encode_header(h);
+  return out;
+}
+
+Result<Image> decode_progressive_prefix(
+    std::span<const std::uint8_t> header,
+    std::span<const serde::Bytes> packets) {
+  auto decoded_header = decode_header(header);
+  if (!decoded_header) return decoded_header.error();
+  const Header h = decoded_header.value();
+
+  const auto order = scan_order_for(h.width, h.height, h.levels,
+                                    h.raster_scan
+                                        ? CodecParams::Scan::raster
+                                        : CodecParams::Scan::subband);
+  const std::size_t per_channel = order.size();
+  const std::size_t n = per_channel * static_cast<std::size_t>(h.channels);
+
+  std::vector<std::uint32_t> magnitudes(n, 0);
+  std::vector<std::uint8_t> signs(n, 0);
+  std::vector<bool> significant(n, false);
+  std::vector<int> lowest_plane(n, 0);  // lowest plane whose bit is known
+
+  // Replay passes in order until packets run out or a gap appears.
+  int plane = h.top_plane;
+  bool doing_significance = true;
+  bool truncated_mid_pass = false;
+  for (const serde::Bytes& packet : packets) {
+    if (packet.empty()) break;  // missing packet terminates the prefix
+    if (plane < 0) break;       // trailing data beyond the last plane
+    serde::Reader reader(packet);
+    auto group = reader.varint();
+    if (!group) return group.error();
+    for (std::uint64_t g = 0; g < group.value(); ++g) {
+      auto blob = reader.blob();
+      if (!blob) return blob.error();
+      if (plane < 0) {
+        return Error{Errc::malformed, "more passes than planes"};
+      }
+      BitReader bits(blob.value());
+      if (doing_significance) {
+        const std::uint32_t threshold_bit = 1u << plane;
+        std::vector<std::uint32_t> newly;
+        std::size_t position = 0;
+        // Count insignificant coefficients up front for loop bounds.
+        std::size_t insignificant = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!significant[i]) ++insignificant;
+        }
+        // Map position-in-insignificant-sequence to coefficient index.
+        std::vector<std::uint32_t> index_of;
+        index_of.reserve(insignificant);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!significant[i]) index_of.push_back(static_cast<std::uint32_t>(i));
+        }
+        while (position < insignificant) {
+          auto run = bits.get_run();
+          if (!run) {
+            truncated_mid_pass = true;
+            break;
+          }
+          position += run.value();
+          if (position >= insignificant) break;
+          auto sign = bits.get();
+          if (!sign) {
+            truncated_mid_pass = true;
+            break;
+          }
+          const std::uint32_t index = index_of[position];
+          magnitudes[index] |= threshold_bit;
+          signs[index] = sign.value() ? 1 : 0;
+          lowest_plane[index] = plane;
+          newly.push_back(index);
+          ++position;
+        }
+        for (const std::uint32_t index : newly) significant[index] = true;
+      } else {
+        const std::uint32_t threshold_bit = 1u << plane;
+        for (std::size_t i = 0; i < n && !truncated_mid_pass; ++i) {
+          if (!significant[i]) continue;
+          if (lowest_plane[i] <= plane) continue;  // became significant now
+          auto bit = bits.get();
+          if (!bit) {
+            truncated_mid_pass = true;
+            break;
+          }
+          if (bit.value()) magnitudes[i] |= threshold_bit;
+          lowest_plane[i] = plane;
+        }
+      }
+      if (truncated_mid_pass) {
+        return Error{Errc::malformed, "truncated pass"};
+      }
+      if (doing_significance) {
+        doing_significance = false;
+      } else {
+        doing_significance = true;
+        --plane;
+      }
+    }
+  }
+
+  // Mid-interval estimate for coefficients with unknown lower bits.
+  std::vector<std::int32_t> values(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!significant[i]) continue;
+    std::uint32_t magnitude = magnitudes[i];
+    if (lowest_plane[i] > 0) magnitude |= 1u << (lowest_plane[i] - 1);
+    values[i] = signs[i] != 0 ? -static_cast<std::int32_t>(magnitude)
+                              : static_cast<std::int32_t>(magnitude);
+  }
+
+  Image image(h.width, h.height, h.channels);
+  std::vector<std::vector<std::int32_t>> channel_values(
+      static_cast<std::size_t>(h.channels));
+  for (int c = 0; c < h.channels; ++c) {
+    CoefficientPlane plane_data;
+    plane_data.width = h.width;
+    plane_data.height = h.height;
+    plane_data.levels = h.levels;
+    plane_data.data.assign(per_channel, 0);
+    const std::size_t channel_base = per_channel * static_cast<std::size_t>(c);
+    for (std::size_t i = 0; i < per_channel; ++i) {
+      plane_data.data[order[i]] = values[channel_base + i];
+    }
+    channel_values[static_cast<std::size_t>(c)] =
+        inverse_haar_values(plane_data);
+  }
+  auto& pixels = image.pixels();
+  const auto clamp_u8 = [](std::int32_t v) {
+    return static_cast<std::uint8_t>(std::clamp(v, 0, 255));
+  };
+  for (std::size_t p = 0; p < per_channel; ++p) {
+    if (h.channels == 3) {
+      std::int32_t a = channel_values[0][p];
+      std::int32_t b = channel_values[1][p];
+      std::int32_t c = channel_values[2][p];
+      if (h.ycocg) ycocg_inverse(a, b, c);
+      pixels[p * 3] = clamp_u8(a);
+      pixels[p * 3 + 1] = clamp_u8(b);
+      pixels[p * 3 + 2] = clamp_u8(c);
+    } else {
+      pixels[p] = clamp_u8(channel_values[0][p]);
+    }
+  }
+  return image;
+}
+
+Result<Image> decode_progressive(const EncodedImage& encoded,
+                                 std::size_t packet_count) {
+  const std::size_t count = std::min(packet_count, encoded.packets.size());
+  return decode_progressive_prefix(
+      encoded.header,
+      std::span<const serde::Bytes>(encoded.packets.data(), count));
+}
+
+}  // namespace collabqos::media

@@ -1,0 +1,168 @@
+#include "collabqos/media/haar.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace collabqos::media {
+
+namespace {
+
+// 1D forward S-transform over `n` elements with stride `step`:
+// low[i] = floor((a+b)/2), high[i] = a-b. Odd tails stay in the low band.
+void forward_1d(std::int32_t* data, int n, int step) {
+  if (n < 2) return;
+  const int low_count = (n + 1) / 2;
+  std::vector<std::int32_t> scratch(static_cast<std::size_t>(n));
+  for (int i = 0; i + 1 < n; i += 2) {
+    const std::int32_t a = data[i * step];
+    const std::int32_t b = data[(i + 1) * step];
+    scratch[static_cast<std::size_t>(i / 2)] = (a + b) >> 1;
+    scratch[static_cast<std::size_t>(low_count + i / 2)] = a - b;
+  }
+  if (n % 2 == 1) {
+    scratch[static_cast<std::size_t>(low_count - 1)] = data[(n - 1) * step];
+  }
+  for (int i = 0; i < n; ++i) data[i * step] = scratch[static_cast<std::size_t>(i)];
+}
+
+void inverse_1d(std::int32_t* data, int n, int step) {
+  if (n < 2) return;
+  const int low_count = (n + 1) / 2;
+  std::vector<std::int32_t> scratch(static_cast<std::size_t>(n));
+  for (int i = 0; i + 1 < n; i += 2) {
+    const std::int32_t s = data[(i / 2) * step];
+    const std::int32_t d = data[(low_count + i / 2) * step];
+    const std::int32_t b = s - (d >> 1);
+    scratch[static_cast<std::size_t>(i)] = b + d;
+    scratch[static_cast<std::size_t>(i + 1)] = b;
+  }
+  if (n % 2 == 1) {
+    scratch[static_cast<std::size_t>(n - 1)] = data[(low_count - 1) * step];
+  }
+  for (int i = 0; i < n; ++i) data[i * step] = scratch[static_cast<std::size_t>(i)];
+}
+
+}  // namespace
+
+void forward_haar_inplace(CoefficientPlane& plane) {
+  const int width = plane.width;
+  int region_w = plane.width;
+  int region_h = plane.height;
+  for (int level = 0;
+       level < plane.levels && (region_w >= 2 || region_h >= 2); ++level) {
+    for (int y = 0; y < region_h; ++y) {
+      forward_1d(plane.data.data() + static_cast<std::size_t>(y) * width,
+                 region_w, 1);
+    }
+    for (int x = 0; x < region_w; ++x) {
+      forward_1d(plane.data.data() + x, region_h, width);
+    }
+    region_w = (region_w + 1) / 2;
+    region_h = (region_h + 1) / 2;
+  }
+}
+
+CoefficientPlane forward_haar(const std::uint8_t* plane, int width,
+                              int height, int stride, int pixel_step,
+                              int levels) {
+  assert(width > 0 && height > 0 && levels >= 0);
+  CoefficientPlane out;
+  out.width = width;
+  out.height = height;
+  out.levels = levels;
+  out.data.resize(static_cast<std::size_t>(width) * height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      out.data[static_cast<std::size_t>(y) * width + x] =
+          plane[static_cast<std::size_t>(y) * stride +
+                static_cast<std::size_t>(x) * pixel_step];
+    }
+  }
+  forward_haar_inplace(out);
+  return out;
+}
+
+std::vector<std::int32_t> inverse_haar_values(
+    const CoefficientPlane& coefficients) {
+  const int width = coefficients.width;
+  const int height = coefficients.height;
+  std::vector<std::int32_t> work = coefficients.data;
+  // Region sizes per level, outermost first.
+  std::vector<std::pair<int, int>> regions;
+  int region_w = width;
+  int region_h = height;
+  for (int level = 0;
+       level < coefficients.levels && (region_w >= 2 || region_h >= 2);
+       ++level) {
+    regions.emplace_back(region_w, region_h);
+    region_w = (region_w + 1) / 2;
+    region_h = (region_h + 1) / 2;
+  }
+  for (auto it = regions.rbegin(); it != regions.rend(); ++it) {
+    const auto [rw, rh] = *it;
+    for (int x = 0; x < rw; ++x) {
+      inverse_1d(work.data() + x, rh, width);
+    }
+    for (int y = 0; y < rh; ++y) {
+      inverse_1d(work.data() + static_cast<std::size_t>(y) * width, rw, 1);
+    }
+  }
+  (void)height;
+  return work;
+}
+
+void inverse_haar(const CoefficientPlane& coefficients, std::uint8_t* plane,
+                  int stride, int pixel_step) {
+  const int width = coefficients.width;
+  const int height = coefficients.height;
+  const std::vector<std::int32_t> work = inverse_haar_values(coefficients);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const std::int32_t value =
+          work[static_cast<std::size_t>(y) * width + x];
+      plane[static_cast<std::size_t>(y) * stride +
+            static_cast<std::size_t>(x) * pixel_step] =
+          static_cast<std::uint8_t>(std::clamp(value, 0, 255));
+    }
+  }
+}
+
+std::vector<std::uint32_t> subband_scan_order(int width, int height,
+                                              int levels) {
+  // Region extents per level: sizes[l] is the LL region after l transforms.
+  std::vector<std::pair<int, int>> sizes;
+  sizes.emplace_back(width, height);
+  int effective_levels = 0;
+  for (int level = 0; level < levels; ++level) {
+    const auto [w, h] = sizes.back();
+    if (w < 2 && h < 2) break;
+    sizes.emplace_back((w + 1) / 2, (h + 1) / 2);
+    ++effective_levels;
+  }
+  std::vector<std::uint32_t> order;
+  order.reserve(static_cast<std::size_t>(width) * height);
+  const auto push_rect = [&](int x0, int y0, int x1, int y1) {
+    for (int y = y0; y < y1; ++y) {
+      for (int x = x0; x < x1; ++x) {
+        order.push_back(static_cast<std::uint32_t>(y) *
+                            static_cast<std::uint32_t>(width) +
+                        static_cast<std::uint32_t>(x));
+      }
+    }
+  };
+  // Coarsest LL first.
+  const auto [llw, llh] = sizes[static_cast<std::size_t>(effective_levels)];
+  push_rect(0, 0, llw, llh);
+  // Detail bands, coarse to fine.
+  for (int level = effective_levels; level >= 1; --level) {
+    const auto [pw, ph] = sizes[static_cast<std::size_t>(level - 1)];
+    const auto [lw, lh] = sizes[static_cast<std::size_t>(level)];
+    push_rect(lw, 0, pw, lh);   // HL (high in x, low in y)
+    push_rect(0, lh, lw, ph);   // LH
+    push_rect(lw, lh, pw, ph);  // HH
+  }
+  assert(order.size() == static_cast<std::size_t>(width) * height);
+  return order;
+}
+
+}  // namespace collabqos::media

@@ -1,0 +1,52 @@
+// Bit-level I/O with Elias-gamma run lengths — the entropy backend of the
+// progressive codec's significance coding.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "collabqos/util/result.hpp"
+
+namespace collabqos::media {
+
+class BitWriter {
+ public:
+  void put(bool bit);
+  void put_bits(std::uint32_t value, int count);  ///< MSB first
+  /// Elias-gamma code for n >= 1.
+  void put_gamma(std::uint64_t n);
+  /// Run-length: gamma(run+1) so zero-length runs are representable.
+  void put_run(std::uint64_t run) { put_gamma(run + 1); }
+
+  /// Flush partial byte (zero-padded) and return the buffer.
+  [[nodiscard]] std::vector<std::uint8_t> finish();
+  [[nodiscard]] std::size_t bit_count() const noexcept { return bits_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::uint8_t current_ = 0;
+  int filled_ = 0;
+  std::size_t bits_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  [[nodiscard]] Result<bool> get();
+  [[nodiscard]] Result<std::uint32_t> get_bits(int count);
+  [[nodiscard]] Result<std::uint64_t> get_gamma();
+  [[nodiscard]] Result<std::uint64_t> get_run();
+
+  [[nodiscard]] bool exhausted() const noexcept {
+    return bit_ >= data_.size() * 8;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t bit_ = 0;
+};
+
+}  // namespace collabqos::media

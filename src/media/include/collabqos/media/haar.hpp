@@ -1,0 +1,55 @@
+// Integer Haar (S-transform) wavelet pyramid. Perfectly reversible in
+// integer arithmetic, which lets the progressive decoder reconstruct the
+// exact image once every bit-plane has arrived.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace collabqos::media {
+
+/// Coefficient plane for one channel: row-major int32, same dimensions as
+/// the source, holding the multi-level transform in place (LL in the
+/// top-left corner after `levels` applications).
+struct CoefficientPlane {
+  int width = 0;
+  int height = 0;
+  int levels = 0;
+  std::vector<std::int32_t> data;
+
+  [[nodiscard]] std::int32_t& at(int x, int y) {
+    return data[static_cast<std::size_t>(y) * width + x];
+  }
+  [[nodiscard]] std::int32_t at(int x, int y) const {
+    return data[static_cast<std::size_t>(y) * width + x];
+  }
+};
+
+/// Forward multi-level transform of an 8-bit plane. `levels` halvings are
+/// applied to the top-left quadrant chain; dimensions need not be powers
+/// of two (odd extents keep the extra sample in the low band).
+[[nodiscard]] CoefficientPlane forward_haar(const std::uint8_t* plane,
+                                            int width, int height, int stride,
+                                            int pixel_step, int levels);
+
+/// In-place multi-level transform of arbitrary integer samples (the
+/// colour-decorrelated planes of the codec). `plane.data` holds samples
+/// on entry and coefficients on return.
+void forward_haar_inplace(CoefficientPlane& plane);
+
+/// Inverse transform to raw integer samples (no clamping — callers that
+/// fed colour-difference planes need the signed values back).
+[[nodiscard]] std::vector<std::int32_t> inverse_haar_values(
+    const CoefficientPlane& coefficients);
+
+/// Inverse transform; output clamped to [0,255].
+void inverse_haar(const CoefficientPlane& coefficients, std::uint8_t* plane,
+                  int stride, int pixel_step);
+
+/// Subband scan order for progressive coding: indices into the plane,
+/// coarsest band first (LL, then HL/LH/HH per level from coarse to fine).
+[[nodiscard]] std::vector<std::uint32_t> subband_scan_order(int width,
+                                                            int height,
+                                                            int levels);
+
+}  // namespace collabqos::media

@@ -1,0 +1,27 @@
+// Image quality and size metrics — the quantities plotted in the paper's
+// Figures 6 and 7 (bits per pixel, compression ratio) plus PSNR for the
+// progressive-refinement property tests.
+#pragma once
+
+#include <cstddef>
+
+#include "collabqos/media/image.hpp"
+
+namespace collabqos::media {
+
+/// Mean squared error between same-shaped images.
+[[nodiscard]] double mean_squared_error(const Image& a, const Image& b);
+
+/// Peak signal-to-noise ratio in dB; +infinity for identical images.
+[[nodiscard]] double psnr(const Image& reference, const Image& candidate);
+
+/// Bits per pixel for a coded representation of `coded_bytes` covering
+/// `pixel_count` pixels (channel bits included, as the paper plots).
+[[nodiscard]] double bits_per_pixel(std::size_t coded_bytes,
+                                    std::size_t pixel_count);
+
+/// Raw-size / coded-size.
+[[nodiscard]] double compression_ratio(std::size_t raw_bytes,
+                                       std::size_t coded_bytes);
+
+}  // namespace collabqos::media

@@ -1,0 +1,39 @@
+#include "collabqos/media/quality.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace collabqos::media {
+
+double mean_squared_error(const Image& a, const Image& b) {
+  assert(a.width() == b.width() && a.height() == b.height() &&
+         a.channels() == b.channels());
+  const auto& pa = a.pixels();
+  const auto& pb = b.pixels();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double d = static_cast<double>(pa[i]) - static_cast<double>(pb[i]);
+    sum += d * d;
+  }
+  return pa.empty() ? 0.0 : sum / static_cast<double>(pa.size());
+}
+
+double psnr(const Image& reference, const Image& candidate) {
+  const double mse = mean_squared_error(reference, candidate);
+  if (mse <= 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+double bits_per_pixel(std::size_t coded_bytes, std::size_t pixel_count) {
+  if (pixel_count == 0) return 0.0;
+  return static_cast<double>(coded_bytes) * 8.0 /
+         static_cast<double>(pixel_count);
+}
+
+double compression_ratio(std::size_t raw_bytes, std::size_t coded_bytes) {
+  if (coded_bytes == 0) return 0.0;
+  return static_cast<double>(raw_bytes) / static_cast<double>(coded_bytes);
+}
+
+}  // namespace collabqos::media

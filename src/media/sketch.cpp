@@ -1,0 +1,158 @@
+#include "collabqos/media/sketch.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "collabqos/media/bitio.hpp"
+
+namespace collabqos::media {
+
+namespace {
+constexpr std::uint8_t kSketchMagic = 0x5C;
+}
+
+serde::Bytes Sketch::encode() const {
+  serde::Writer w(rle.size() + description.size() + 24);
+  w.u8(kSketchMagic);
+  w.varint(static_cast<std::uint64_t>(width));
+  w.varint(static_cast<std::uint64_t>(height));
+  w.varint(static_cast<std::uint64_t>(source_width));
+  w.varint(static_cast<std::uint64_t>(source_height));
+  w.string(description);
+  w.blob(rle);
+  return std::move(w).take();
+}
+
+Result<Sketch> Sketch::decode(std::span<const std::uint8_t> bytes) {
+  serde::Reader r(bytes);
+  auto magic = r.u8();
+  if (!magic) return magic.error();
+  if (magic.value() != kSketchMagic) {
+    return Error{Errc::malformed, "not a sketch"};
+  }
+  Sketch s;
+  auto width = r.varint();
+  if (!width) return width.error();
+  auto height = r.varint();
+  if (!height) return height.error();
+  auto source_width = r.varint();
+  if (!source_width) return source_width.error();
+  auto source_height = r.varint();
+  if (!source_height) return source_height.error();
+  if (width.value() == 0 || height.value() == 0 ||
+      width.value() > 1u << 15 || height.value() > 1u << 15) {
+    return Error{Errc::malformed, "implausible sketch dimensions"};
+  }
+  s.width = static_cast<int>(width.value());
+  s.height = static_cast<int>(height.value());
+  s.source_width = static_cast<int>(source_width.value());
+  s.source_height = static_cast<int>(source_height.value());
+  auto description = r.string();
+  if (!description) return description.error();
+  s.description = std::move(description).take();
+  auto rle = r.blob();
+  if (!rle) return rle.error();
+  s.rle = std::move(rle).take();
+  return s;
+}
+
+Sketch extract_sketch(const Image& image, std::string description,
+                      SketchParams params) {
+  assert(params.decimation >= 1);
+  const Image gray = image.to_grayscale();
+  const int w = gray.width();
+  const int h = gray.height();
+
+  // Sobel gradient magnitude.
+  std::vector<double> gradient(static_cast<std::size_t>(w) * h, 0.0);
+  for (int y = 1; y + 1 < h; ++y) {
+    for (int x = 1; x + 1 < w; ++x) {
+      const auto p = [&](int dx, int dy) {
+        return static_cast<double>(gray.at(x + dx, y + dy));
+      };
+      const double gx = (p(1, -1) + 2.0 * p(1, 0) + p(1, 1)) -
+                        (p(-1, -1) + 2.0 * p(-1, 0) + p(-1, 1));
+      const double gy = (p(-1, 1) + 2.0 * p(0, 1) + p(1, 1)) -
+                        (p(-1, -1) + 2.0 * p(0, -1) + p(1, -1));
+      gradient[static_cast<std::size_t>(y) * w + x] = std::hypot(gx, gy);
+    }
+  }
+
+  // Adaptive threshold at the requested quantile.
+  std::vector<double> sorted = gradient;
+  const auto rank = static_cast<std::size_t>(
+      params.threshold_quantile * static_cast<double>(sorted.size() - 1));
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<std::ptrdiff_t>(rank),
+                   sorted.end());
+  const double threshold = std::max(1.0, sorted[rank]);
+
+  // Decimated edge map: a cell is an edge if any member pixel exceeds
+  // the threshold (max-pool keeps thin structures visible).
+  const int dw = (w + params.decimation - 1) / params.decimation;
+  const int dh = (h + params.decimation - 1) / params.decimation;
+  std::vector<std::uint8_t> edges(static_cast<std::size_t>(dw) * dh, 0);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (gradient[static_cast<std::size_t>(y) * w + x] >= threshold) {
+        edges[static_cast<std::size_t>(y / params.decimation) * dw +
+              x / params.decimation] = 1;
+      }
+    }
+  }
+
+  // Run-length code the binary map (alternating runs, starts with 0-run).
+  BitWriter bits;
+  std::uint64_t run = 0;
+  std::uint8_t current = 0;
+  for (const std::uint8_t edge : edges) {
+    if (edge == current) {
+      ++run;
+    } else {
+      bits.put_run(run);
+      current = edge;
+      run = 1;
+    }
+  }
+  bits.put_run(run);
+
+  Sketch sketch;
+  sketch.width = dw;
+  sketch.height = dh;
+  sketch.source_width = w;
+  sketch.source_height = h;
+  sketch.rle = bits.finish();
+  sketch.description = std::move(description);
+  return sketch;
+}
+
+Result<Image> render_sketch(const Sketch& sketch) {
+  if (sketch.width <= 0 || sketch.height <= 0) {
+    return Error{Errc::malformed, "empty sketch"};
+  }
+  Image image(sketch.width, sketch.height, 1);
+  BitReader bits(sketch.rle);
+  const std::size_t total =
+      static_cast<std::size_t>(sketch.width) * sketch.height;
+  std::size_t cursor = 0;
+  std::uint8_t current = 0;
+  while (cursor < total) {
+    auto run = bits.get_run();
+    if (!run) return run.error();
+    if (run.value() > total - cursor) {
+      return Error{Errc::malformed, "sketch run overflow"};
+    }
+    if (current != 0) {
+      for (std::uint64_t i = 0; i < run.value(); ++i) {
+        image.pixels()[cursor + i] = 255;
+      }
+    }
+    cursor += run.value();
+    current = current == 0 ? 1 : 0;
+  }
+  return image;
+}
+
+}  // namespace collabqos::media

@@ -1,0 +1,45 @@
+// Link quality model: per-node attachment characteristics deciding whether
+// and when a datagram crosses the simulated LAN. Loss and jitter are what
+// the paper's RTP layer exists to mask ("multicast data transfer on UDP
+// limits the reliability parameter").
+#pragma once
+
+#include <cstddef>
+
+#include "collabqos/sim/time.hpp"
+#include "collabqos/util/rng.hpp"
+
+namespace collabqos::net {
+
+/// Static link parameters for one node's attachment.
+struct LinkParams {
+  double bandwidth_bps = 100e6;        ///< serialisation rate
+  sim::Duration base_latency = sim::Duration::micros(200);
+  sim::Duration jitter = sim::Duration::micros(0);  ///< uniform ±jitter
+  double loss_probability = 0.0;       ///< i.i.d. drop chance per packet
+};
+
+/// Outcome of pushing one datagram onto a link.
+struct LinkVerdict {
+  bool delivered = false;
+  sim::Duration delay{};  ///< valid when delivered
+};
+
+/// Stateless (aside from its RNG) link evaluator.
+class LinkModel {
+ public:
+  LinkModel(LinkParams params, Rng rng) noexcept
+      : params_(params), rng_(rng) {}
+
+  /// Evaluate one transmission of `payload_bytes`.
+  [[nodiscard]] LinkVerdict transmit(std::size_t payload_bytes);
+
+  [[nodiscard]] const LinkParams& params() const noexcept { return params_; }
+  void set_params(LinkParams params) noexcept { params_ = params; }
+
+ private:
+  LinkParams params_;
+  Rng rng_;
+};
+
+}  // namespace collabqos::net

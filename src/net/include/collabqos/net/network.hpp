@@ -1,0 +1,153 @@
+// The simulated datagram network: unicast + multicast UDP semantics over
+// per-node link models, driven by the discrete-event simulator. This is
+// the "multicast communication substrate" of the paper's Section 5.1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "collabqos/net/address.hpp"
+#include "collabqos/net/link.hpp"
+#include "collabqos/serde/wire.hpp"
+#include "collabqos/sim/simulator.hpp"
+#include "collabqos/util/result.hpp"
+
+namespace collabqos::net {
+
+/// One delivered datagram as seen by a receiver.
+struct Datagram {
+  Address source;
+  Address destination;      ///< the receiver's own bound address
+  bool via_multicast = false;
+  GroupId group{};          ///< valid when via_multicast
+  serde::Bytes payload;
+};
+
+using ReceiveHandler = std::function<void(const Datagram&)>;
+
+class Network;
+
+/// A bound, socket-like object. RAII: closes (unbinds, leaves groups) on
+/// destruction. Obtained from Network::bind.
+class Endpoint {
+ public:
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+  ~Endpoint();
+
+  [[nodiscard]] Address address() const noexcept { return address_; }
+
+  /// Install the receive callback (replaces any previous one).
+  void on_receive(ReceiveHandler handler);
+
+  /// Unreliable unicast send.
+  Status send(Address destination, serde::Bytes payload);
+
+  /// Unreliable multicast send to every current member of `group`
+  /// (including the sender itself if joined and loopback enabled).
+  Status send_multicast(GroupId group, serde::Bytes payload);
+
+  Status join(GroupId group);
+  Status leave(GroupId group);
+  [[nodiscard]] bool member_of(GroupId group) const;
+
+  /// Whether multicast sends loop back to this endpoint when it is a
+  /// member of the target group (default: off, matching typical sockets).
+  void set_multicast_loopback(bool enabled) noexcept { loopback_ = enabled; }
+  [[nodiscard]] bool multicast_loopback() const noexcept { return loopback_; }
+
+ private:
+  friend class Network;
+  Endpoint(Network& network, Address address) noexcept
+      : network_(&network), address_(address) {}
+
+  Network* network_;
+  Address address_;
+  ReceiveHandler handler_;
+  std::set<std::uint32_t> groups_;
+  bool loopback_ = false;
+};
+
+/// Simple counters for observability and tests.
+struct NetworkStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_delivered = 0;
+  std::uint64_t datagrams_dropped_loss = 0;
+  std::uint64_t datagrams_dropped_unbound = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+/// Per-node interface counters (what a MIB-II interfaces-group agent on
+/// the node would expose: octets/packets in and out).
+struct NodeStats {
+  std::uint64_t datagrams_in = 0;
+  std::uint64_t datagrams_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+class Network {
+ public:
+  /// `seed` drives all stochastic link behaviour.
+  Network(sim::Simulator& simulator, std::uint64_t seed = 1);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+  ~Network();
+
+  /// Register a node with given attachment characteristics. Returns its id.
+  NodeId add_node(const std::string& name, LinkParams params = {});
+
+  /// Re-configure a node's link (e.g. congestion onset mid-run).
+  Status set_link_params(NodeId node, LinkParams params);
+  [[nodiscard]] Result<LinkParams> link_params(NodeId node) const;
+
+  /// Bind a fresh endpoint on `node`:`port`. Port 0 auto-assigns.
+  [[nodiscard]] Result<std::unique_ptr<Endpoint>> bind(NodeId node,
+                                                       Port port = 0);
+
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Result<NodeStats> node_stats(NodeId node) const;
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
+  [[nodiscard]] Result<std::string> node_name(NodeId node) const;
+
+  /// Maximum datagram payload the network accepts (enforced; senders
+  /// above must fragment — the RTP layer does).
+  static constexpr std::size_t kMaxDatagram = 64 * 1024;
+
+ private:
+  friend class Endpoint;
+
+  struct Node {
+    std::string name;
+    std::unique_ptr<LinkModel> uplink;
+    std::unique_ptr<LinkModel> downlink;
+    Port next_ephemeral = 49152;
+    NodeStats stats;
+  };
+
+  Status send_unicast(Endpoint& from, Address to, serde::Bytes payload);
+  Status send_multicast(Endpoint& from, GroupId group, serde::Bytes payload);
+  void unbind(Endpoint& endpoint);
+  void join_group(Endpoint& endpoint, GroupId group);
+  void leave_group(Endpoint& endpoint, GroupId group);
+  /// Evaluate uplink at the source and downlink at each destination; on
+  /// survival, schedule delivery.
+  void route(Address source, Address destination, bool via_multicast,
+             GroupId group, const serde::Bytes& payload,
+             sim::Duration uplink_delay);
+
+  sim::Simulator& simulator_;
+  Rng rng_;
+  std::map<std::uint32_t, Node> nodes_;
+  std::map<Address, Endpoint*> bound_;
+  std::map<std::uint32_t, std::set<Address>> groups_;
+  NetworkStats stats_;
+  std::uint32_t next_node_ = 1;
+};
+
+}  // namespace collabqos::net

@@ -1,0 +1,190 @@
+// Thin RTP/RTCP-style layer over the unreliable datagram substrate
+// (paper §5.1: "a thin layer based on the RTP-RTCP scheme is built on top
+// of the communication substrate to provide limited in-order delivery
+// assurance").
+//
+// Deviation from RFC 3550, documented: our packets carry explicit
+// (fragment_index, fragment_count) fields rather than only a marker bit,
+// because the progressive image codec wants to decode *whatever subset of
+// fragments arrived* — each fragment is independently meaningful. Loss,
+// reordering and duplication handling plus the RFC 3550 jitter estimator
+// are otherwise faithful.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "collabqos/serde/wire.hpp"
+#include "collabqos/sim/time.hpp"
+#include "collabqos/util/result.hpp"
+#include "collabqos/util/stats.hpp"
+
+namespace collabqos::net {
+
+/// One RTP-style packet (a fragment of an application object).
+struct RtpPacket {
+  std::uint32_t ssrc = 0;          ///< sender stream identifier
+  std::uint16_t sequence = 0;      ///< per-stream, wraps at 2^16
+  std::uint32_t timestamp = 0;     ///< media timestamp / object id
+  std::uint8_t payload_type = 0;   ///< application media type tag
+  std::uint16_t fragment_index = 0;
+  std::uint16_t fragment_count = 1;
+  serde::Bytes payload;
+
+  [[nodiscard]] serde::Bytes encode() const;
+  [[nodiscard]] static Result<RtpPacket> decode(
+      std::span<const std::uint8_t> bytes);
+};
+
+/// Fragments application objects into RTP packets.
+class RtpPacketizer {
+ public:
+  RtpPacketizer(std::uint32_t ssrc, std::size_t mtu_payload) noexcept;
+
+  /// Split `object` into packets of at most the configured payload MTU.
+  /// `timestamp` identifies the object (monotonically increasing).
+  [[nodiscard]] std::vector<RtpPacket> packetize(
+      std::span<const std::uint8_t> object, std::uint8_t payload_type,
+      std::uint32_t timestamp);
+
+  /// Packetize pre-cut fragments (e.g. the progressive codec's packets,
+  /// which must not be re-split across codec packet boundaries).
+  [[nodiscard]] std::vector<RtpPacket> packetize_fragments(
+      std::span<const serde::Bytes> fragments, std::uint8_t payload_type,
+      std::uint32_t timestamp);
+
+  [[nodiscard]] std::uint16_t next_sequence() const noexcept {
+    return sequence_;
+  }
+  [[nodiscard]] std::uint32_t ssrc() const noexcept { return ssrc_; }
+
+ private:
+  std::uint32_t ssrc_;
+  std::size_t mtu_payload_;
+  std::uint16_t sequence_ = 0;
+};
+
+/// A reassembled (possibly partial) application object.
+struct RtpObject {
+  std::uint32_t ssrc = 0;
+  std::uint32_t timestamp = 0;
+  std::uint8_t payload_type = 0;
+  std::uint16_t fragments_received = 0;
+  std::uint16_t fragment_count = 0;
+  bool complete = false;
+  /// Fragments in index order; missing ones are empty vectors.
+  std::vector<serde::Bytes> fragments;
+
+  /// Concatenation of the received fragments in order (gaps skipped).
+  [[nodiscard]] serde::Bytes reassemble() const;
+};
+
+/// RFC 3550-shaped receiver statistics for one source.
+struct ReceiverReport {
+  std::uint32_t ssrc = 0;
+  std::uint32_t packets_received = 0;
+  std::uint32_t packets_expected = 0;
+  std::int64_t cumulative_lost = 0;
+  double fraction_lost = 0.0;        ///< over the last report interval
+  double interarrival_jitter_us = 0.0;
+  std::uint16_t highest_sequence = 0;
+};
+
+/// Per-source reassembly and statistics. Objects are delivered to the
+/// callback when complete, or flushed partial after `flush_after` of
+/// inactivity (limited in-order assurance, not full reliability).
+class RtpReceiver {
+ public:
+  using ObjectHandler = std::function<void(const RtpObject&)>;
+
+  explicit RtpReceiver(sim::Duration flush_after = sim::Duration::millis(200));
+
+  void on_object(ObjectHandler handler) { handler_ = std::move(handler); }
+
+  /// Feed one raw datagram payload; returns malformed for undecodable
+  /// bytes, ok otherwise (duplicates and stale packets are absorbed).
+  Status ingest(std::span<const std::uint8_t> bytes, sim::TimePoint now);
+  /// Feed an already-decoded packet (callers that need the header for
+  /// source bookkeeping decode once and pass it through).
+  Status ingest(RtpPacket packet, sim::TimePoint now);
+
+  /// Flush objects idle since before `now - flush_after` (call from a
+  /// periodic timer). Returns the number of partial objects delivered.
+  std::size_t flush_stale(sim::TimePoint now);
+
+  /// An incomplete object awaiting fragments (ARQ feedback material).
+  struct PendingSummary {
+    std::uint32_t ssrc = 0;
+    std::uint32_t timestamp = 0;
+    sim::Duration age{};  ///< since the last fragment arrived
+    std::vector<std::uint16_t> missing;
+  };
+  /// Snapshot of every pending object (the NACK scheduler walks this).
+  [[nodiscard]] std::vector<PendingSummary> pending_summaries(
+      sim::TimePoint now) const;
+
+  /// Refresh an object's idle clock (a NACK was sent on its behalf, so
+  /// give the retransmissions time before flushing partial).
+  void touch(std::uint32_t ssrc, std::uint32_t timestamp,
+             sim::TimePoint now);
+
+  /// Whether the object is currently awaiting fragments.
+  [[nodiscard]] bool is_pending(std::uint32_t ssrc,
+                                std::uint32_t timestamp) const {
+    return pending_.contains(PendingKey{ssrc, timestamp});
+  }
+
+  /// Receiver report for one source since the last call (interval stats
+  /// reset; cumulative stats persist).
+  [[nodiscard]] Result<ReceiverReport> report(std::uint32_t ssrc);
+
+  [[nodiscard]] std::size_t pending_objects() const noexcept {
+    return pending_.size();
+  }
+
+ private:
+  struct SourceState {
+    bool seen = false;
+    std::uint16_t base_sequence = 0;
+    std::uint32_t highest_extended = 0;   ///< extended seq (with cycles)
+    std::uint32_t packets_received = 0;
+    std::uint32_t interval_received = 0;
+    std::uint32_t interval_expected_base = 0;
+    double jitter_us = 0.0;
+    sim::TimePoint last_arrival{};
+    std::uint32_t last_rtp_timestamp = 0;
+    bool have_arrival = false;
+  };
+  struct PendingKey {
+    std::uint32_t ssrc;
+    std::uint32_t timestamp;
+    friend auto operator<=>(const PendingKey&, const PendingKey&) = default;
+  };
+  struct PendingObject {
+    RtpObject object;
+    std::vector<bool> received;  ///< distinguishes missing from empty
+    sim::TimePoint last_update{};
+  };
+
+  void update_stats(SourceState& state, const RtpPacket& packet,
+                    sim::TimePoint now);
+  void deliver(PendingObject& pending);
+  void remember_completed(const PendingKey& key);
+
+  ObjectHandler handler_;
+  sim::Duration flush_after_;
+  std::map<std::uint32_t, SourceState> sources_;
+  std::map<PendingKey, PendingObject> pending_;
+  /// At-most-once delivery: recently completed objects absorb late
+  /// duplicate fragments instead of re-opening (bounded FIFO memory).
+  std::set<PendingKey> completed_;
+  std::deque<PendingKey> completed_order_;
+  static constexpr std::size_t kCompletedMemory = 4096;
+};
+
+}  // namespace collabqos::net

@@ -1,0 +1,28 @@
+#include "collabqos/net/link.hpp"
+
+#include <algorithm>
+
+namespace collabqos::net {
+
+LinkVerdict LinkModel::transmit(std::size_t payload_bytes) {
+  LinkVerdict verdict;
+  if (rng_.chance(params_.loss_probability)) {
+    return verdict;  // dropped
+  }
+  verdict.delivered = true;
+  const double serialize_s =
+      params_.bandwidth_bps > 0.0
+          ? static_cast<double>(payload_bytes) * 8.0 / params_.bandwidth_bps
+          : 0.0;
+  sim::Duration delay =
+      params_.base_latency + sim::Duration::seconds(serialize_s);
+  const std::int64_t jitter_us = params_.jitter.as_micros();
+  if (jitter_us > 0) {
+    delay = delay + sim::Duration::micros(rng_.uniform_int(-jitter_us,
+                                                           jitter_us));
+  }
+  verdict.delay = std::max(delay, sim::Duration::micros(1));
+  return verdict;
+}
+
+}  // namespace collabqos::net

@@ -1,0 +1,300 @@
+#include "collabqos/net/rtp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace collabqos::net {
+
+namespace {
+// Wire-format magic to reject non-RTP datagrams early.
+constexpr std::uint8_t kMagic = 0xA7;
+
+/// Signed distance from `a` to `b` on the 16-bit sequence circle.
+int seq_distance(std::uint16_t a, std::uint16_t b) noexcept {
+  return static_cast<std::int16_t>(static_cast<std::uint16_t>(b - a));
+}
+}  // namespace
+
+serde::Bytes RtpPacket::encode() const {
+  serde::Writer w(payload.size() + 24);
+  w.u8(kMagic);
+  w.u32(ssrc);
+  w.u16(sequence);
+  w.u32(timestamp);
+  w.u8(payload_type);
+  w.u16(fragment_index);
+  w.u16(fragment_count);
+  w.blob(payload);
+  return std::move(w).take();
+}
+
+Result<RtpPacket> RtpPacket::decode(std::span<const std::uint8_t> bytes) {
+  serde::Reader r(bytes);
+  auto magic = r.u8();
+  if (!magic) return magic.error();
+  if (magic.value() != kMagic) {
+    return Error{Errc::malformed, "not an RTP packet"};
+  }
+  RtpPacket p;
+  auto ssrc = r.u32();
+  if (!ssrc) return ssrc.error();
+  p.ssrc = ssrc.value();
+  auto seq = r.u16();
+  if (!seq) return seq.error();
+  p.sequence = seq.value();
+  auto ts = r.u32();
+  if (!ts) return ts.error();
+  p.timestamp = ts.value();
+  auto pt = r.u8();
+  if (!pt) return pt.error();
+  p.payload_type = pt.value();
+  auto index = r.u16();
+  if (!index) return index.error();
+  p.fragment_index = index.value();
+  auto count = r.u16();
+  if (!count) return count.error();
+  p.fragment_count = count.value();
+  if (p.fragment_count == 0 || p.fragment_index >= p.fragment_count) {
+    return Error{Errc::malformed, "bad fragment fields"};
+  }
+  auto payload = r.blob();
+  if (!payload) return payload.error();
+  p.payload = std::move(payload).take();
+  if (!r.exhausted()) {
+    return Error{Errc::malformed, "trailing bytes after RTP payload"};
+  }
+  return p;
+}
+
+RtpPacketizer::RtpPacketizer(std::uint32_t ssrc,
+                             std::size_t mtu_payload) noexcept
+    : ssrc_(ssrc), mtu_payload_(std::max<std::size_t>(1, mtu_payload)) {}
+
+std::vector<RtpPacket> RtpPacketizer::packetize(
+    std::span<const std::uint8_t> object, std::uint8_t payload_type,
+    std::uint32_t timestamp) {
+  const std::size_t count =
+      object.empty() ? 1 : (object.size() + mtu_payload_ - 1) / mtu_payload_;
+  assert(count <= UINT16_MAX);
+  std::vector<RtpPacket> packets;
+  packets.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    RtpPacket p;
+    p.ssrc = ssrc_;
+    p.sequence = sequence_++;
+    p.timestamp = timestamp;
+    p.payload_type = payload_type;
+    p.fragment_index = static_cast<std::uint16_t>(i);
+    p.fragment_count = static_cast<std::uint16_t>(count);
+    const std::size_t begin = i * mtu_payload_;
+    const std::size_t end = std::min(begin + mtu_payload_, object.size());
+    p.payload.assign(object.begin() + static_cast<std::ptrdiff_t>(begin),
+                     object.begin() + static_cast<std::ptrdiff_t>(end));
+    packets.push_back(std::move(p));
+  }
+  return packets;
+}
+
+std::vector<RtpPacket> RtpPacketizer::packetize_fragments(
+    std::span<const serde::Bytes> fragments, std::uint8_t payload_type,
+    std::uint32_t timestamp) {
+  assert(!fragments.empty());
+  assert(fragments.size() <= UINT16_MAX);
+  std::vector<RtpPacket> packets;
+  packets.reserve(fragments.size());
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    RtpPacket p;
+    p.ssrc = ssrc_;
+    p.sequence = sequence_++;
+    p.timestamp = timestamp;
+    p.payload_type = payload_type;
+    p.fragment_index = static_cast<std::uint16_t>(i);
+    p.fragment_count = static_cast<std::uint16_t>(fragments.size());
+    p.payload = fragments[i];
+    packets.push_back(std::move(p));
+  }
+  return packets;
+}
+
+serde::Bytes RtpObject::reassemble() const {
+  serde::Bytes out;
+  std::size_t total = 0;
+  for (const auto& f : fragments) total += f.size();
+  out.reserve(total);
+  for (const auto& f : fragments) out.insert(out.end(), f.begin(), f.end());
+  return out;
+}
+
+RtpReceiver::RtpReceiver(sim::Duration flush_after)
+    : flush_after_(flush_after) {}
+
+Status RtpReceiver::ingest(std::span<const std::uint8_t> bytes,
+                           sim::TimePoint now) {
+  auto decoded = RtpPacket::decode(bytes);
+  if (!decoded) return decoded.error();
+  return ingest(std::move(decoded).take(), now);
+}
+
+Status RtpReceiver::ingest(RtpPacket packet, sim::TimePoint now) {
+  SourceState& state = sources_[packet.ssrc];
+  update_stats(state, packet, now);
+
+  const PendingKey key{packet.ssrc, packet.timestamp};
+  if (completed_.contains(key)) {
+    return {};  // late duplicate of a delivered object; absorb
+  }
+  auto [it, inserted] = pending_.try_emplace(key);
+  PendingObject& pending = it->second;
+  if (inserted) {
+    pending.object.ssrc = packet.ssrc;
+    pending.object.timestamp = packet.timestamp;
+    pending.object.payload_type = packet.payload_type;
+    pending.object.fragment_count = packet.fragment_count;
+    pending.object.fragments.resize(packet.fragment_count);
+    pending.received.assign(packet.fragment_count, false);
+  } else if (pending.object.fragment_count != packet.fragment_count) {
+    return Status(Errc::malformed, "fragment count mismatch within object");
+  }
+  if (packet.fragment_index >= pending.object.fragments.size()) {
+    return Status(Errc::malformed, "fragment index out of range");
+  }
+  if (pending.received[packet.fragment_index]) {
+    return {};  // duplicate fragment; absorb silently
+  }
+  pending.received[packet.fragment_index] = true;
+  pending.object.fragments[packet.fragment_index] = std::move(packet.payload);
+  ++pending.object.fragments_received;
+  pending.last_update = now;
+
+  if (pending.object.fragments_received == pending.object.fragment_count) {
+    pending.object.complete = true;
+    deliver(pending);
+    remember_completed(key);
+    pending_.erase(it);
+  }
+  return {};
+}
+
+void RtpReceiver::remember_completed(const PendingKey& key) {
+  if (completed_.insert(key).second) {
+    completed_order_.push_back(key);
+    if (completed_order_.size() > kCompletedMemory) {
+      completed_.erase(completed_order_.front());
+      completed_order_.pop_front();
+    }
+  }
+}
+
+void RtpReceiver::update_stats(SourceState& state, const RtpPacket& packet,
+                               sim::TimePoint now) {
+  if (!state.seen) {
+    state.seen = true;
+    state.base_sequence = packet.sequence;
+    state.highest_extended = packet.sequence;
+    state.interval_expected_base = packet.sequence;
+  } else {
+    const int distance = seq_distance(
+        static_cast<std::uint16_t>(state.highest_extended & 0xffff),
+        packet.sequence);
+    if (distance > 0) {
+      state.highest_extended += static_cast<std::uint32_t>(distance);
+    }
+  }
+  ++state.packets_received;
+  ++state.interval_received;
+
+  // RFC 3550 interarrival jitter: smooth |delta arrival - delta media time|.
+  // Our media clock is the object timestamp in milliseconds.
+  if (state.have_arrival) {
+    const double arrival_delta_us =
+        static_cast<double>((now - state.last_arrival).as_micros());
+    const double media_delta_us =
+        (static_cast<double>(packet.timestamp) -
+         static_cast<double>(state.last_rtp_timestamp)) *
+        1000.0;
+    const double d = std::fabs(arrival_delta_us - media_delta_us);
+    state.jitter_us += (d - state.jitter_us) / 16.0;
+  }
+  state.have_arrival = true;
+  state.last_arrival = now;
+  state.last_rtp_timestamp = packet.timestamp;
+}
+
+void RtpReceiver::deliver(PendingObject& pending) {
+  if (handler_) handler_(pending.object);
+}
+
+std::vector<RtpReceiver::PendingSummary> RtpReceiver::pending_summaries(
+    sim::TimePoint now) const {
+  std::vector<PendingSummary> summaries;
+  summaries.reserve(pending_.size());
+  for (const auto& [key, pending] : pending_) {
+    PendingSummary summary;
+    summary.ssrc = key.ssrc;
+    summary.timestamp = key.timestamp;
+    summary.age = now - pending.last_update;
+    for (std::size_t i = 0; i < pending.received.size(); ++i) {
+      if (!pending.received[i]) {
+        summary.missing.push_back(static_cast<std::uint16_t>(i));
+      }
+    }
+    summaries.push_back(std::move(summary));
+  }
+  return summaries;
+}
+
+void RtpReceiver::touch(std::uint32_t ssrc, std::uint32_t timestamp,
+                        sim::TimePoint now) {
+  const auto it = pending_.find(PendingKey{ssrc, timestamp});
+  if (it != pending_.end()) it->second.last_update = now;
+}
+
+std::size_t RtpReceiver::flush_stale(sim::TimePoint now) {
+  std::size_t flushed = 0;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now - it->second.last_update >= flush_after_) {
+      deliver(it->second);
+      it = pending_.erase(it);
+      ++flushed;
+    } else {
+      ++it;
+    }
+  }
+  return flushed;
+}
+
+Result<ReceiverReport> RtpReceiver::report(std::uint32_t ssrc) {
+  const auto it = sources_.find(ssrc);
+  if (it == sources_.end()) {
+    return Error{Errc::no_such_object, "unknown ssrc"};
+  }
+  SourceState& state = it->second;
+  ReceiverReport rr;
+  rr.ssrc = ssrc;
+  rr.packets_received = state.packets_received;
+  const std::uint32_t expected =
+      state.highest_extended - state.base_sequence + 1;
+  rr.packets_expected = expected;
+  rr.cumulative_lost = static_cast<std::int64_t>(expected) -
+                       static_cast<std::int64_t>(state.packets_received);
+  const std::uint32_t interval_expected =
+      state.highest_extended - state.interval_expected_base + 1;
+  const std::int64_t interval_lost =
+      static_cast<std::int64_t>(interval_expected) -
+      static_cast<std::int64_t>(state.interval_received);
+  rr.fraction_lost =
+      interval_expected > 0
+          ? std::max(0.0, static_cast<double>(interval_lost) /
+                              static_cast<double>(interval_expected))
+          : 0.0;
+  rr.interarrival_jitter_us = state.jitter_us;
+  rr.highest_sequence =
+      static_cast<std::uint16_t>(state.highest_extended & 0xffff);
+  // Reset interval accounting.
+  state.interval_received = 0;
+  state.interval_expected_base = state.highest_extended + 1;
+  return rr;
+}
+
+}  // namespace collabqos::net

@@ -1,0 +1,149 @@
+#include "collabqos/pubsub/attribute.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace collabqos::pubsub {
+
+std::optional<bool> AttributeValue::as_bool() const noexcept {
+  if (const bool* v = std::get_if<bool>(&data_)) return *v;
+  return std::nullopt;
+}
+
+std::optional<double> AttributeValue::as_number() const noexcept {
+  if (const auto* v = std::get_if<std::int64_t>(&data_)) {
+    return static_cast<double>(*v);
+  }
+  if (const double* v = std::get_if<double>(&data_)) return *v;
+  return std::nullopt;
+}
+
+std::optional<std::string_view> AttributeValue::as_string() const noexcept {
+  if (const auto* v = std::get_if<std::string>(&data_)) return *v;
+  return std::nullopt;
+}
+
+bool AttributeValue::equals(const AttributeValue& other) const noexcept {
+  if (data_.index() == other.data_.index()) return data_ == other.data_;
+  // int/double coercion only.
+  const auto a = as_number();
+  const auto b = other.as_number();
+  if (a && b && is_number() && other.is_number()) return *a == *b;
+  return false;
+}
+
+std::string AttributeValue::to_literal() const {
+  if (const bool* v = std::get_if<bool>(&data_)) return *v ? "true" : "false";
+  if (const auto* v = std::get_if<std::int64_t>(&data_)) {
+    return std::to_string(*v);
+  }
+  if (const double* v = std::get_if<double>(&data_)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", *v);
+    // Ensure it re-parses as a real, not an integer.
+    std::string out = buf;
+    if (out.find_first_of(".eE") == std::string::npos) out += ".0";
+    return out;
+  }
+  std::string out = "'";
+  for (const char c : std::get<std::string>(data_)) {
+    if (c == '\'' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '\'';
+  return out;
+}
+
+namespace {
+enum class ValueTag : std::uint8_t { boolean = 0, integer, real, text };
+}
+
+void AttributeValue::encode(serde::Writer& w) const {
+  if (const bool* v = std::get_if<bool>(&data_)) {
+    w.u8(static_cast<std::uint8_t>(ValueTag::boolean));
+    w.boolean(*v);
+  } else if (const auto* i = std::get_if<std::int64_t>(&data_)) {
+    w.u8(static_cast<std::uint8_t>(ValueTag::integer));
+    w.svarint(*i);
+  } else if (const double* d = std::get_if<double>(&data_)) {
+    w.u8(static_cast<std::uint8_t>(ValueTag::real));
+    w.f64(*d);
+  } else {
+    w.u8(static_cast<std::uint8_t>(ValueTag::text));
+    w.string(std::get<std::string>(data_));
+  }
+}
+
+Result<AttributeValue> AttributeValue::decode(serde::Reader& r) {
+  auto tag = r.u8();
+  if (!tag) return tag.error();
+  switch (static_cast<ValueTag>(tag.value())) {
+    case ValueTag::boolean: {
+      auto v = r.boolean();
+      if (!v) return v.error();
+      return AttributeValue(v.value());
+    }
+    case ValueTag::integer: {
+      auto v = r.svarint();
+      if (!v) return v.error();
+      return AttributeValue(v.value());
+    }
+    case ValueTag::real: {
+      auto v = r.f64();
+      if (!v) return v.error();
+      return AttributeValue(v.value());
+    }
+    case ValueTag::text: {
+      auto v = r.string();
+      if (!v) return v.error();
+      return AttributeValue(std::move(v).take());
+    }
+  }
+  return Error{Errc::malformed, "unknown attribute value tag"};
+}
+
+void AttributeSet::set(std::string key, AttributeValue value) {
+  values_.insert_or_assign(std::move(key), std::move(value));
+}
+
+bool AttributeSet::erase(const std::string& key) {
+  return values_.erase(key) > 0;
+}
+
+const AttributeValue* AttributeSet::find(std::string_view key) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+void AttributeSet::merge(const AttributeSet& overlay) {
+  for (const auto& [key, value] : overlay) {
+    values_.insert_or_assign(key, value);
+  }
+}
+
+void AttributeSet::encode(serde::Writer& w) const {
+  w.varint(values_.size());
+  for (const auto& [key, value] : values_) {
+    w.string(key);
+    value.encode(w);
+  }
+}
+
+Result<AttributeSet> AttributeSet::decode(serde::Reader& r) {
+  auto count = r.varint();
+  if (!count) return count.error();
+  if (count.value() > 4096) {
+    return Error{Errc::malformed, "attribute set too large"};
+  }
+  AttributeSet set;
+  for (std::uint64_t i = 0; i < count.value(); ++i) {
+    auto key = r.string();
+    if (!key) return key.error();
+    auto value = AttributeValue::decode(r);
+    if (!value) return value.error();
+    set.set(std::move(key).take(), std::move(value).take());
+  }
+  return set;
+}
+
+}  // namespace collabqos::pubsub

@@ -1,0 +1,95 @@
+// Attribute sets: the vocabulary of the semantic messaging substrate.
+// Profiles (client interests/capabilities/state) and message content
+// descriptors are both attribute sets; selectors are propositional
+// expressions over them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "collabqos/serde/wire.hpp"
+#include "collabqos/util/result.hpp"
+
+namespace collabqos::pubsub {
+
+/// A typed attribute value: boolean, integer, real or string.
+class AttributeValue {
+ public:
+  AttributeValue() : data_(false) {}
+  AttributeValue(bool v) : data_(v) {}
+  AttributeValue(std::int64_t v) : data_(v) {}
+  AttributeValue(int v) : data_(static_cast<std::int64_t>(v)) {}
+  AttributeValue(double v) : data_(v) {}
+  AttributeValue(std::string v) : data_(std::move(v)) {}
+  AttributeValue(const char* v) : data_(std::string(v)) {}
+
+  [[nodiscard]] bool is_bool() const noexcept {
+    return std::holds_alternative<bool>(data_);
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return std::holds_alternative<std::int64_t>(data_) ||
+           std::holds_alternative<double>(data_);
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(data_);
+  }
+
+  [[nodiscard]] std::optional<bool> as_bool() const noexcept;
+  /// Numeric view (ints widen to double); nullopt for bool/string.
+  [[nodiscard]] std::optional<double> as_number() const noexcept;
+  [[nodiscard]] std::optional<std::string_view> as_string() const noexcept;
+
+  /// Equality comparison with type coercion between int and double only.
+  [[nodiscard]] bool equals(const AttributeValue& other) const noexcept;
+
+  /// Render as a selector literal ("true", "42", "3.5", "'text'").
+  [[nodiscard]] std::string to_literal() const;
+
+  void encode(serde::Writer& w) const;
+  [[nodiscard]] static Result<AttributeValue> decode(serde::Reader& r);
+
+  friend bool operator==(const AttributeValue& a,
+                         const AttributeValue& b) noexcept {
+    return a.equals(b);
+  }
+
+ private:
+  std::variant<bool, std::int64_t, double, std::string> data_;
+};
+
+/// Ordered attribute map. Keys are dotted identifiers
+/// ("capability.video.color", "interest.topic").
+class AttributeSet {
+ public:
+  void set(std::string key, AttributeValue value);
+  bool erase(const std::string& key);
+  [[nodiscard]] const AttributeValue* find(std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const {
+    return find(key) != nullptr;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  [[nodiscard]] auto begin() const noexcept { return values_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return values_.end(); }
+
+  /// Merge `overlay` over this set (overlay wins on key conflicts).
+  void merge(const AttributeSet& overlay);
+
+  void encode(serde::Writer& w) const;
+  [[nodiscard]] static Result<AttributeSet> decode(serde::Reader& r);
+
+  friend bool operator==(const AttributeSet& a,
+                         const AttributeSet& b) noexcept {
+    return a.values_ == b.values_;
+  }
+
+ private:
+  std::map<std::string, AttributeValue, std::less<>> values_;
+};
+
+}  // namespace collabqos::pubsub

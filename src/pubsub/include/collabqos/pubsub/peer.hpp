@@ -1,0 +1,148 @@
+// The event communication module (paper §5.3): "(a) associatively
+// multicasting messages on the communication media, and (b) interpreting
+// incoming messages ... for relevance and translating them into local
+// events."
+//
+// A SemanticPeer binds a network endpoint, joins the session's multicast
+// group, fragments outgoing semantic messages through the RTP layer, and
+// reassembles + semantically interprets incoming ones against the local
+// profile. Only accepted messages reach the application handler.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "collabqos/net/network.hpp"
+#include "collabqos/net/rtp.hpp"
+#include "collabqos/pubsub/message.hpp"
+#include "collabqos/pubsub/profile.hpp"
+
+namespace collabqos::pubsub {
+
+struct PeerStats {
+  std::uint64_t published = 0;
+  std::uint64_t received_objects = 0;
+  std::uint64_t undecodable = 0;
+  std::uint64_t incomplete_dropped = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t accepted_with_transformation = 0;
+  std::uint64_t nacks_sent = 0;        ///< repair requests issued
+  std::uint64_t nacks_received = 0;    ///< repair requests served
+  std::uint64_t retransmissions = 0;   ///< fragments resent on request
+};
+
+struct PeerOptions {
+  net::Port port = 5004;          ///< session data port (RTP convention)
+  std::size_t mtu_payload = 1400; ///< fragment size on the wire
+  sim::Duration reassembly_flush = sim::Duration::millis(250);
+  /// Wireless thin clients communicate only by unicast through their
+  /// base station (paper §4.2); they bind but do not join the group.
+  bool join_multicast = true;
+  /// Deliver every decodable message regardless of selector/interest
+  /// matching (gateways and session archivers record on behalf of
+  /// *other* profiles, so they must not filter on their own).
+  bool promiscuous = false;
+  /// Selective-repeat repair (paper §5.1's "limited in-order delivery
+  /// assurance"): receivers NACK missing fragments back to the sender,
+  /// which retransmits from a bounded buffer. Set attempts to 0 to run
+  /// pure best-effort.
+  int nack_attempts = 2;
+  std::size_t retransmit_buffer_packets = 2048;
+};
+
+class SemanticPeer {
+ public:
+  /// `handler` receives every message this peer's profile accepts.
+  using MessageHandler =
+      std::function<void(const SemanticMessage&, const MatchDecision&)>;
+
+  /// Binds `node`:`options.port` and joins `group`. Throws on bind
+  /// failure (a peer without its endpoint is a configuration bug).
+  SemanticPeer(net::Network& network, net::NodeId node, net::GroupId group,
+               std::uint64_t peer_id, PeerOptions options = {});
+  ~SemanticPeer();
+  SemanticPeer(const SemanticPeer&) = delete;
+  SemanticPeer& operator=(const SemanticPeer&) = delete;
+
+  /// The locally maintained, locally modifiable profile.
+  [[nodiscard]] Profile& profile() noexcept { return profile_; }
+  [[nodiscard]] const Profile& profile() const noexcept { return profile_; }
+
+  void on_message(MessageHandler handler) { handler_ = std::move(handler); }
+
+  /// Multicast a semantic message to the session. Sender id/sequence are
+  /// stamped here.
+  Status publish(SemanticMessage message);
+
+  /// Unicast variant (wireless client -> base station leg).
+  Status send_to(net::Address destination, SemanticMessage message);
+
+  /// Unicast a message verbatim — original sender id and sequence are
+  /// preserved (session-history replay; receivers deduplicate by the
+  /// embedded operation/order identities, not transport identity).
+  Status relay_to(net::Address destination, const SemanticMessage& message);
+
+  [[nodiscard]] std::uint64_t peer_id() const noexcept { return peer_id_; }
+  [[nodiscard]] net::Address address() const noexcept {
+    return endpoint_->address();
+  }
+  [[nodiscard]] net::GroupId group() const noexcept { return group_; }
+  [[nodiscard]] const PeerStats& stats() const noexcept { return stats_; }
+
+  /// RTCP-style receiver report for one remote sender (consumes the
+  /// interval counters). The QoS layer folds these into the network
+  /// state ("network bandwidth, latency, and jitter", paper §5.5).
+  [[nodiscard]] Result<net::ReceiverReport> receiver_report(
+      std::uint64_t sender_id) {
+    return receiver_.report(static_cast<std::uint32_t>(sender_id));
+  }
+  /// Senders heard so far (for report iteration).
+  [[nodiscard]] const std::set<std::uint64_t>& heard_senders()
+      const noexcept {
+    return heard_senders_;
+  }
+
+ private:
+  void on_datagram(const net::Datagram& datagram);
+  void on_object(const net::RtpObject& object);
+  /// `transport_timestamp` keys RTP reassembly; it must be unique per
+  /// transmission from this peer (relays of foreign messages included).
+  Status transmit(const SemanticMessage& message,
+                  std::uint32_t transport_timestamp,
+                  const std::function<Status(serde::Bytes)>& sink);
+  /// One repair/flush sweep (runs from the reassembly timer).
+  void repair_tick();
+  void handle_nack(const net::Datagram& datagram);
+  void remember_sent(const net::RtpPacket& packet);
+
+  net::Network& network_;
+  std::unique_ptr<net::Endpoint> endpoint_;
+  net::GroupId group_;
+  std::uint64_t peer_id_;
+  PeerOptions options_;
+  Profile profile_;
+  net::RtpPacketizer packetizer_;
+  net::RtpReceiver receiver_;
+  std::unique_ptr<sim::PeriodicTimer> flush_timer_;
+  MessageHandler handler_;
+  std::uint64_t next_sequence_ = 1;
+  PeerStats stats_;
+  std::set<std::uint64_t> heard_senders_;
+  /// Receiver-side ARQ state, keyed by (ssrc, transport timestamp).
+  using ObjectKey = std::pair<std::uint32_t, std::uint32_t>;
+  std::map<ObjectKey, net::Address> pending_sources_;
+  std::map<ObjectKey, int> nack_attempts_;
+  /// Sender-side retransmit buffer keyed by (timestamp, fragment index),
+  /// with FIFO eviction.
+  std::map<std::pair<std::uint32_t, std::uint16_t>, net::RtpPacket>
+      sent_packets_;
+  std::deque<std::pair<std::uint32_t, std::uint16_t>> sent_order_;
+};
+
+}  // namespace collabqos::pubsub

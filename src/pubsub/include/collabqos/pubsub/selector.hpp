@@ -1,0 +1,75 @@
+// The semantic-selector language: "a prepositional expression over all
+// possible attributes [that] specifies the profile(s) of clients that are
+// to receive the message" (paper §3).
+//
+// Grammar (case-sensitive keywords, C-like comparison operators):
+//
+//   expr       := or_expr
+//   or_expr    := and_expr ( 'or' and_expr )*
+//   and_expr   := unary ( 'and' unary )*
+//   unary      := 'not' unary | primary
+//   primary    := '(' expr ')' | 'true' | 'false'
+//              |  'exists' ident | comparison | membership
+//   comparison := ident op literal
+//   membership := ident 'in' '(' literal ( ',' literal )* ')'
+//   op         := '==' | '!=' | '<' | '<=' | '>' | '>='
+//   ident      := dotted identifier, e.g. capability.video.color
+//   literal    := integer | real | 'single-quoted string' | true | false
+//
+// Evaluation is two-valued: a comparison on a missing attribute or a
+// type-mismatched pair is FALSE (so `not (x == 3)` is true when x is
+// absent — callers guard with `exists x` when they need presence).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "collabqos/pubsub/attribute.hpp"
+#include "collabqos/util/result.hpp"
+
+namespace collabqos::pubsub {
+
+namespace detail {
+struct ExprNode;
+}
+
+/// A parsed, immutable selector expression. Value semantics (shared
+/// immutable AST), cheap to copy into every outgoing message.
+class Selector {
+ public:
+  /// The always-true selector (broadcast to every profile).
+  Selector();
+
+  /// Parse from source text.
+  [[nodiscard]] static Result<Selector> parse(std::string_view text);
+
+  /// Evaluate against a profile/content attribute set.
+  [[nodiscard]] bool matches(const AttributeSet& attributes) const;
+
+  /// Canonical text form; parse(to_string()) reproduces the selector.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Structural combinators (used by the QoS layer to refine selectors).
+  [[nodiscard]] Selector and_with(const Selector& other) const;
+  [[nodiscard]] Selector or_with(const Selector& other) const;
+  [[nodiscard]] Selector negate() const;
+
+  /// Convenience builders.
+  [[nodiscard]] static Selector always();
+  [[nodiscard]] static Selector equals(std::string attribute,
+                                       AttributeValue value);
+  [[nodiscard]] static Selector exists(std::string attribute);
+  [[nodiscard]] static Selector one_of(std::string attribute,
+                                       std::vector<AttributeValue> values);
+
+  void encode(serde::Writer& w) const;
+  [[nodiscard]] static Result<Selector> decode(serde::Reader& r);
+
+ private:
+  explicit Selector(std::shared_ptr<const detail::ExprNode> root);
+  std::shared_ptr<const detail::ExprNode> root_;
+};
+
+}  // namespace collabqos::pubsub

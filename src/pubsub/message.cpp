@@ -1,0 +1,86 @@
+#include "collabqos/pubsub/message.hpp"
+
+namespace collabqos::pubsub {
+
+namespace {
+constexpr std::uint8_t kMessageMagic = 0xE5;
+}
+
+serde::Bytes SemanticMessage::encode() const {
+  serde::Writer w(payload.size() + 128);
+  w.u8(kMessageMagic);
+  selector.encode(w);
+  content.encode(w);
+  w.string(event_type);
+  w.varint(sender_id);
+  w.varint(sequence);
+  w.blob(payload);
+  return std::move(w).take();
+}
+
+Result<SemanticMessage> SemanticMessage::decode(
+    std::span<const std::uint8_t> bytes) {
+  serde::Reader r(bytes);
+  auto magic = r.u8();
+  if (!magic) return magic.error();
+  if (magic.value() != kMessageMagic) {
+    return Error{Errc::malformed, "not a semantic message"};
+  }
+  SemanticMessage message;
+  auto selector = Selector::decode(r);
+  if (!selector) return selector.error();
+  message.selector = std::move(selector).take();
+  auto content = AttributeSet::decode(r);
+  if (!content) return content.error();
+  message.content = std::move(content).take();
+  auto event_type = r.string();
+  if (!event_type) return event_type.error();
+  message.event_type = std::move(event_type).take();
+  auto sender = r.varint();
+  if (!sender) return sender.error();
+  message.sender_id = sender.value();
+  auto sequence = r.varint();
+  if (!sequence) return sequence.error();
+  message.sequence = sequence.value();
+  auto payload = r.blob();
+  if (!payload) return payload.error();
+  message.payload = std::move(payload).take();
+  if (!r.exhausted()) {
+    return Error{Errc::malformed, "trailing bytes after message"};
+  }
+  return message;
+}
+
+MatchDecision match(const Profile& profile, const SemanticMessage& message) {
+  MatchDecision decision;
+  // Step 1: the sender's selector must admit this profile.
+  if (!message.selector.matches(profile.attributes())) {
+    return decision;  // rejected
+  }
+  // Step 2: no interest expression means "interested in everything the
+  // selector sends my way".
+  if (!profile.interest()) {
+    decision.kind = MatchDecision::Kind::accepted;
+    return decision;
+  }
+  if (profile.interest()->matches(message.content)) {
+    decision.kind = MatchDecision::Kind::accepted;
+    return decision;
+  }
+  // Step 3: try each declared capability as a content rewrite
+  // (Figure 3: profile 3 accepts MPEG2 video by transforming to JPEG).
+  for (const TransformCapability& capability : profile.capabilities()) {
+    const AttributeValue* actual = message.content.find(capability.attribute);
+    if (actual == nullptr || !actual->equals(capability.from)) continue;
+    AttributeSet rewritten = message.content;
+    rewritten.set(capability.attribute, capability.to);
+    if (profile.interest()->matches(rewritten)) {
+      decision.kind = MatchDecision::Kind::accepted_with_transformation;
+      decision.transformation = capability;
+      return decision;
+    }
+  }
+  return decision;  // rejected
+}
+
+}  // namespace collabqos::pubsub

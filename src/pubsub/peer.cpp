@@ -1,0 +1,246 @@
+#include "collabqos/pubsub/peer.hpp"
+
+#include <stdexcept>
+
+#include "collabqos/util/logging.hpp"
+
+namespace collabqos::pubsub {
+
+namespace {
+constexpr std::string_view kComponent = "pubsub.peer";
+constexpr std::uint8_t kSemanticPayloadType = 96;  // dynamic RTP PT range
+constexpr std::uint8_t kNackMagic = 0xA8;          // distinct from RTP 0xA7
+
+serde::Bytes encode_nack(std::uint32_t ssrc, std::uint32_t timestamp,
+                         const std::vector<std::uint16_t>& missing) {
+  serde::Writer w(8 + missing.size() * 2);
+  w.u8(kNackMagic);
+  w.u32(ssrc);
+  w.u32(timestamp);
+  w.varint(missing.size());
+  for (const std::uint16_t index : missing) w.u16(index);
+  return std::move(w).take();
+}
+}  // namespace
+
+SemanticPeer::SemanticPeer(net::Network& network, net::NodeId node,
+                           net::GroupId group, std::uint64_t peer_id,
+                           PeerOptions options)
+    : network_(network),
+      group_(group),
+      peer_id_(peer_id),
+      options_(options),
+      packetizer_(static_cast<std::uint32_t>(peer_id), options.mtu_payload),
+      receiver_(options.reassembly_flush) {
+  auto endpoint = network.bind(node, options.port);
+  if (!endpoint) {
+    throw std::runtime_error("SemanticPeer: cannot bind: " +
+                             endpoint.error().message);
+  }
+  endpoint_ = std::move(endpoint).take();
+  if (options.join_multicast) {
+    if (auto status = endpoint_->join(group); !status.ok()) {
+      throw std::runtime_error("SemanticPeer: cannot join group: " +
+                               status.error().message);
+    }
+  }
+  endpoint_->on_receive(
+      [this](const net::Datagram& datagram) { on_datagram(datagram); });
+  receiver_.on_object(
+      [this](const net::RtpObject& object) { on_object(object); });
+  // The repair/flush timer runs only while partial objects are pending,
+  // so an idle peer schedules no events (simulations can drain fully).
+  // It ticks at half the flush window: missing fragments get NACKed (and
+  // the object touched) before the partial-delivery deadline.
+  flush_timer_ = std::make_unique<sim::PeriodicTimer>(
+      network.simulator(), options.reassembly_flush * 0.5,
+      [this] { repair_tick(); });
+}
+
+SemanticPeer::~SemanticPeer() = default;
+
+Status SemanticPeer::transmit(
+    const SemanticMessage& message, std::uint32_t transport_timestamp,
+    const std::function<Status(serde::Bytes)>& sink) {
+  const serde::Bytes encoded = message.encode();
+  const auto packets =
+      packetizer_.packetize(encoded, kSemanticPayloadType,
+                            transport_timestamp);
+  for (const net::RtpPacket& packet : packets) {
+    remember_sent(packet);
+    if (auto status = sink(packet.encode()); !status.ok()) return status;
+  }
+  return {};
+}
+
+Status SemanticPeer::publish(SemanticMessage message) {
+  message.sender_id = peer_id_;
+  message.sequence = next_sequence_++;
+  ++stats_.published;
+  CQ_TRACE(kComponent) << "peer " << peer_id_ << " publishes "
+                       << message.event_type;
+  return transmit(message, static_cast<std::uint32_t>(message.sequence),
+                  [this](serde::Bytes bytes) {
+    return endpoint_->send_multicast(group_, std::move(bytes));
+  });
+}
+
+Status SemanticPeer::send_to(net::Address destination,
+                             SemanticMessage message) {
+  message.sender_id = peer_id_;
+  message.sequence = next_sequence_++;
+  ++stats_.published;
+  return transmit(message, static_cast<std::uint32_t>(message.sequence),
+                  [this, destination](serde::Bytes bytes) {
+                    return endpoint_->send(destination, std::move(bytes));
+                  });
+}
+
+Status SemanticPeer::relay_to(net::Address destination,
+                              const SemanticMessage& message) {
+  ++stats_.published;
+  // The transport timestamp comes from this peer's own sequence space so
+  // replays of different senders' messages never collide in reassembly.
+  return transmit(message, static_cast<std::uint32_t>(next_sequence_++),
+                  [this, destination](serde::Bytes bytes) {
+                    return endpoint_->send(destination, std::move(bytes));
+                  });
+}
+
+void SemanticPeer::on_datagram(const net::Datagram& datagram) {
+  if (!datagram.payload.empty() && datagram.payload[0] == kNackMagic) {
+    handle_nack(datagram);
+    return;
+  }
+  auto decoded = net::RtpPacket::decode(datagram.payload);
+  if (!decoded) {
+    ++stats_.undecodable;
+    return;
+  }
+  const ObjectKey key{decoded.value().ssrc, decoded.value().timestamp};
+  // Remember where this object's fragments come from so repairs can be
+  // requested from the right sender (unicast, even for multicast data).
+  // Recorded BEFORE ingest: on_object erases the entry when the object
+  // resolves, including objects that complete within this very call.
+  pending_sources_[key] = datagram.source;
+  const Status status =
+      receiver_.ingest(std::move(decoded).take(),
+                       network_.simulator().now());
+  if (!status.ok()) {
+    ++stats_.undecodable;
+  }
+  if (!receiver_.is_pending(key.first, key.second)) {
+    // Rejected, duplicate-of-completed, or resolved within this call.
+    pending_sources_.erase(key);
+  }
+  if (receiver_.pending_objects() > 0) {
+    flush_timer_->start();  // no-op when already running
+  }
+}
+
+void SemanticPeer::repair_tick() {
+  const sim::TimePoint now = network_.simulator().now();
+  if (options_.nack_attempts > 0) {
+    const sim::Duration nack_after = options_.reassembly_flush * 0.5;
+    for (const auto& summary : receiver_.pending_summaries(now)) {
+      if (summary.age < nack_after || summary.missing.empty()) continue;
+      const ObjectKey key{summary.ssrc, summary.timestamp};
+      int& attempts = nack_attempts_[key];
+      const auto source = pending_sources_.find(key);
+      if (attempts >= options_.nack_attempts ||
+          source == pending_sources_.end()) {
+        continue;  // out of attempts: flush_stale will deliver partial
+      }
+      ++attempts;
+      ++stats_.nacks_sent;
+      (void)endpoint_->send(
+          source->second,
+          encode_nack(summary.ssrc, summary.timestamp, summary.missing));
+      // Grant the retransmissions a fresh flush window.
+      receiver_.touch(summary.ssrc, summary.timestamp, now);
+    }
+  }
+  (void)receiver_.flush_stale(now);
+  if (receiver_.pending_objects() == 0) flush_timer_->stop();
+}
+
+void SemanticPeer::handle_nack(const net::Datagram& datagram) {
+  serde::Reader r(datagram.payload);
+  (void)r.u8();  // magic, already checked
+  auto ssrc = r.u32();
+  auto timestamp = r.u32();
+  auto count = r.varint();
+  if (!ssrc || !timestamp || !count || count.value() > UINT16_MAX) {
+    ++stats_.undecodable;
+    return;
+  }
+  if (ssrc.value() != packetizer_.ssrc()) return;  // not our stream
+  ++stats_.nacks_received;
+  for (std::uint64_t i = 0; i < count.value(); ++i) {
+    auto index = r.u16();
+    if (!index) return;
+    const auto it =
+        sent_packets_.find({timestamp.value(), index.value()});
+    if (it == sent_packets_.end()) continue;  // evicted; nothing to do
+    ++stats_.retransmissions;
+    (void)endpoint_->send(datagram.source, it->second.encode());
+  }
+}
+
+void SemanticPeer::remember_sent(const net::RtpPacket& packet) {
+  if (options_.retransmit_buffer_packets == 0) return;
+  const std::pair<std::uint32_t, std::uint16_t> key{packet.timestamp,
+                                                    packet.fragment_index};
+  if (sent_packets_.emplace(key, packet).second) {
+    sent_order_.push_back(key);
+    while (sent_order_.size() > options_.retransmit_buffer_packets) {
+      sent_packets_.erase(sent_order_.front());
+      sent_order_.pop_front();
+    }
+  }
+}
+
+void SemanticPeer::on_object(const net::RtpObject& object) {
+  heard_senders_.insert(object.ssrc);
+  const ObjectKey key{object.ssrc, object.timestamp};
+  pending_sources_.erase(key);
+  nack_attempts_.erase(key);
+  if (!object.complete) {
+    // A partial semantic message cannot be decoded; the QoS layer
+    // controls partial *media* delivery at a higher level.
+    ++stats_.incomplete_dropped;
+    return;
+  }
+  ++stats_.received_objects;
+  const serde::Bytes bytes = object.reassemble();
+  auto decoded = SemanticMessage::decode(bytes);
+  if (!decoded) {
+    ++stats_.undecodable;
+    CQ_DEBUG(kComponent) << "peer " << peer_id_
+                         << " dropped undecodable message";
+    return;
+  }
+  const SemanticMessage& message = decoded.value();
+  MatchDecision decision;
+  if (options_.promiscuous) {
+    decision.kind = MatchDecision::Kind::accepted;
+    ++stats_.accepted;
+    if (handler_) handler_(message, decision);
+    return;
+  }
+  decision = match(profile_, message);
+  switch (decision.kind) {
+    case MatchDecision::Kind::rejected:
+      ++stats_.rejected;
+      return;
+    case MatchDecision::Kind::accepted:
+      ++stats_.accepted;
+      break;
+    case MatchDecision::Kind::accepted_with_transformation:
+      ++stats_.accepted_with_transformation;
+      break;
+  }
+  if (handler_) handler_(message, decision);
+}
+
+}  // namespace collabqos::pubsub

@@ -1,0 +1,95 @@
+#include "collabqos/pubsub/profile.hpp"
+
+namespace collabqos::pubsub {
+
+void TransformCapability::encode(serde::Writer& w) const {
+  w.string(attribute);
+  from.encode(w);
+  to.encode(w);
+}
+
+Result<TransformCapability> TransformCapability::decode(serde::Reader& r) {
+  TransformCapability capability;
+  auto attribute = r.string();
+  if (!attribute) return attribute.error();
+  capability.attribute = std::move(attribute).take();
+  auto from = AttributeValue::decode(r);
+  if (!from) return from.error();
+  capability.from = std::move(from).take();
+  auto to = AttributeValue::decode(r);
+  if (!to) return to.error();
+  capability.to = std::move(to).take();
+  return capability;
+}
+
+void Profile::set(std::string key, AttributeValue value) {
+  attributes_.set(std::move(key), std::move(value));
+  ++version_;
+}
+
+bool Profile::erase(const std::string& key) {
+  const bool erased = attributes_.erase(key);
+  if (erased) ++version_;
+  return erased;
+}
+
+void Profile::set_interest(Selector interest) {
+  interest_ = std::move(interest);
+  ++version_;
+}
+
+void Profile::clear_interest() {
+  interest_.reset();
+  ++version_;
+}
+
+void Profile::add_capability(TransformCapability capability) {
+  capabilities_.push_back(std::move(capability));
+  ++version_;
+}
+
+void Profile::clear_capabilities() {
+  capabilities_.clear();
+  ++version_;
+}
+
+void Profile::encode(serde::Writer& w) const {
+  attributes_.encode(w);
+  w.boolean(interest_.has_value());
+  if (interest_) interest_->encode(w);
+  w.varint(capabilities_.size());
+  for (const TransformCapability& capability : capabilities_) {
+    capability.encode(w);
+  }
+  w.varint(version_);
+}
+
+Result<Profile> Profile::decode(serde::Reader& r) {
+  Profile profile;
+  auto attributes = AttributeSet::decode(r);
+  if (!attributes) return attributes.error();
+  profile.attributes_ = std::move(attributes).take();
+  auto has_interest = r.boolean();
+  if (!has_interest) return has_interest.error();
+  if (has_interest.value()) {
+    auto interest = Selector::decode(r);
+    if (!interest) return interest.error();
+    profile.interest_ = std::move(interest).take();
+  }
+  auto count = r.varint();
+  if (!count) return count.error();
+  if (count.value() > 256) {
+    return Error{Errc::malformed, "too many capabilities"};
+  }
+  for (std::uint64_t i = 0; i < count.value(); ++i) {
+    auto capability = TransformCapability::decode(r);
+    if (!capability) return capability.error();
+    profile.capabilities_.push_back(std::move(capability).take());
+  }
+  auto version = r.varint();
+  if (!version) return version.error();
+  profile.version_ = version.value();
+  return profile;
+}
+
+}  // namespace collabqos::pubsub

@@ -1,0 +1,698 @@
+#include "collabqos/pubsub/selector.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <utility>
+#include <vector>
+
+#include "collabqos/util/string_util.hpp"
+
+namespace collabqos::pubsub {
+
+namespace detail {
+
+enum class Op : std::uint8_t { eq = 0, ne, lt, le, gt, ge };
+
+[[nodiscard]] inline std::string_view to_string(Op op) noexcept {
+  switch (op) {
+    case Op::eq: return "==";
+    case Op::ne: return "!=";
+    case Op::lt: return "<";
+    case Op::le: return "<=";
+    case Op::gt: return ">";
+    case Op::ge: return ">=";
+  }
+  return "?";
+}
+
+struct ExprNode {
+  enum class Kind : std::uint8_t {
+    literal_true = 0,
+    literal_false,
+    logical_and,
+    logical_or,
+    logical_not,
+    exists,
+    compare,
+    membership,
+  };
+  Kind kind = Kind::literal_true;
+  // and/or/not children (not uses only lhs).
+  std::shared_ptr<const ExprNode> lhs;
+  std::shared_ptr<const ExprNode> rhs;
+  // exists/compare operands.
+  std::string attribute;
+  Op op = Op::eq;
+  AttributeValue value;
+  std::vector<AttributeValue> values;  // membership candidates
+};
+
+namespace {
+
+using NodePtr = std::shared_ptr<const ExprNode>;
+
+NodePtr make_bool(bool value) {
+  auto node = std::make_shared<ExprNode>();
+  node->kind =
+      value ? ExprNode::Kind::literal_true : ExprNode::Kind::literal_false;
+  return node;
+}
+
+NodePtr make_binary(ExprNode::Kind kind, NodePtr lhs, NodePtr rhs) {
+  auto node = std::make_shared<ExprNode>();
+  node->kind = kind;
+  node->lhs = std::move(lhs);
+  node->rhs = std::move(rhs);
+  return node;
+}
+
+NodePtr make_not(NodePtr operand) {
+  auto node = std::make_shared<ExprNode>();
+  node->kind = ExprNode::Kind::logical_not;
+  node->lhs = std::move(operand);
+  return node;
+}
+
+NodePtr make_exists(std::string attribute) {
+  auto node = std::make_shared<ExprNode>();
+  node->kind = ExprNode::Kind::exists;
+  node->attribute = std::move(attribute);
+  return node;
+}
+
+NodePtr make_compare(std::string attribute, Op op, AttributeValue value) {
+  auto node = std::make_shared<ExprNode>();
+  node->kind = ExprNode::Kind::compare;
+  node->attribute = std::move(attribute);
+  node->op = op;
+  node->value = std::move(value);
+  return node;
+}
+
+NodePtr make_membership(std::string attribute,
+                        std::vector<AttributeValue> values) {
+  auto node = std::make_shared<ExprNode>();
+  node->kind = ExprNode::Kind::membership;
+  node->attribute = std::move(attribute);
+  node->values = std::move(values);
+  return node;
+}
+
+bool evaluate(const ExprNode& node, const AttributeSet& attributes) {
+  switch (node.kind) {
+    case ExprNode::Kind::literal_true:
+      return true;
+    case ExprNode::Kind::literal_false:
+      return false;
+    case ExprNode::Kind::logical_and:
+      return evaluate(*node.lhs, attributes) &&
+             evaluate(*node.rhs, attributes);
+    case ExprNode::Kind::logical_or:
+      return evaluate(*node.lhs, attributes) ||
+             evaluate(*node.rhs, attributes);
+    case ExprNode::Kind::logical_not:
+      return !evaluate(*node.lhs, attributes);
+    case ExprNode::Kind::exists:
+      return attributes.contains(node.attribute);
+    case ExprNode::Kind::membership: {
+      const AttributeValue* actual = attributes.find(node.attribute);
+      if (actual == nullptr) return false;
+      for (const AttributeValue& candidate : node.values) {
+        if (actual->equals(candidate)) return true;
+      }
+      return false;
+    }
+    case ExprNode::Kind::compare: {
+      const AttributeValue* actual = attributes.find(node.attribute);
+      if (actual == nullptr) return false;
+      switch (node.op) {
+        case Op::eq:
+          return actual->equals(node.value);
+        case Op::ne:
+          return !actual->equals(node.value);
+        default:
+          break;
+      }
+      const auto a = actual->as_number();
+      const auto b = node.value.as_number();
+      if (!a || !b || !actual->is_number() || !node.value.is_number()) {
+        return false;  // ordering requires two numbers
+      }
+      switch (node.op) {
+        case Op::lt: return *a < *b;
+        case Op::le: return *a <= *b;
+        case Op::gt: return *a > *b;
+        case Op::ge: return *a >= *b;
+        default: return false;
+      }
+    }
+  }
+  return false;
+}
+
+void print(const ExprNode& node, std::string& out) {
+  switch (node.kind) {
+    case ExprNode::Kind::literal_true:
+      out += "true";
+      return;
+    case ExprNode::Kind::literal_false:
+      out += "false";
+      return;
+    case ExprNode::Kind::logical_and:
+    case ExprNode::Kind::logical_or:
+      out += '(';
+      print(*node.lhs, out);
+      out += node.kind == ExprNode::Kind::logical_and ? " and " : " or ";
+      print(*node.rhs, out);
+      out += ')';
+      return;
+    case ExprNode::Kind::logical_not:
+      out += "not ";
+      // Parenthesise non-primary operands for unambiguous re-parse.
+      if (node.lhs->kind == ExprNode::Kind::logical_and ||
+          node.lhs->kind == ExprNode::Kind::logical_or) {
+        print(*node.lhs, out);
+      } else {
+        out += '(';
+        print(*node.lhs, out);
+        out += ')';
+      }
+      return;
+    case ExprNode::Kind::exists:
+      out += "exists ";
+      out += node.attribute;
+      return;
+    case ExprNode::Kind::compare:
+      out += node.attribute;
+      out += ' ';
+      out += to_string(node.op);
+      out += ' ';
+      out += node.value.to_literal();
+      return;
+    case ExprNode::Kind::membership:
+      out += node.attribute;
+      out += " in (";
+      for (std::size_t i = 0; i < node.values.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += node.values[i].to_literal();
+      }
+      out += ')';
+      return;
+  }
+}
+
+// ------------------------------------------------------------- lexer
+
+struct Token {
+  enum class Kind : std::uint8_t {
+    end,
+    identifier,   // also carries keywords before classification
+    number,
+    string,
+    op,           // one of the comparison operators
+    lparen,
+    rparen,
+    comma,
+  };
+  Kind kind = Kind::end;
+  std::string text;
+  double number = 0.0;
+  bool number_is_integer = false;
+  std::int64_t integer = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> tokens;
+    while (true) {
+      skip_whitespace();
+      if (position_ >= source_.size()) break;
+      const char c = source_[position_];
+      if (c == '(') {
+        tokens.push_back({Token::Kind::lparen, "(", 0, false, 0});
+        ++position_;
+      } else if (c == ')') {
+        tokens.push_back({Token::Kind::rparen, ")", 0, false, 0});
+        ++position_;
+      } else if (c == ',') {
+        tokens.push_back({Token::Kind::comma, ",", 0, false, 0});
+        ++position_;
+      } else if (c == '\'' || c == '"') {
+        auto token = lex_string(c);
+        if (!token) return token.error();
+        tokens.push_back(std::move(token).take());
+      } else if ((std::isdigit(static_cast<unsigned char>(c)) != 0) ||
+                 ((c == '-' || c == '+') && position_ + 1 < source_.size() &&
+                  std::isdigit(static_cast<unsigned char>(
+                      source_[position_ + 1])) != 0)) {
+        auto token = lex_number();
+        if (!token) return token.error();
+        tokens.push_back(std::move(token).take());
+      } else if (std::isalpha(static_cast<unsigned char>(c)) != 0 ||
+                 c == '_') {
+        tokens.push_back(lex_identifier());
+      } else {
+        auto token = lex_operator();
+        if (!token) return token.error();
+        tokens.push_back(std::move(token).take());
+      }
+    }
+    tokens.push_back({Token::Kind::end, "", 0, false, 0});
+    return tokens;
+  }
+
+ private:
+  void skip_whitespace() {
+    while (position_ < source_.size() &&
+           std::isspace(static_cast<unsigned char>(source_[position_])) != 0) {
+      ++position_;
+    }
+  }
+
+  Result<Token> lex_string(char quote) {
+    ++position_;  // opening quote
+    std::string text;
+    while (position_ < source_.size()) {
+      const char c = source_[position_++];
+      if (c == '\\' && position_ < source_.size()) {
+        text += source_[position_++];
+      } else if (c == quote) {
+        return Token{Token::Kind::string, std::move(text), 0, false, 0};
+      } else {
+        text += c;
+      }
+    }
+    return Error{Errc::malformed, "unterminated string literal"};
+  }
+
+  Result<Token> lex_number() {
+    const std::size_t start = position_;
+    if (source_[position_] == '-' || source_[position_] == '+') ++position_;
+    bool is_real = false;
+    while (position_ < source_.size()) {
+      const char c = source_[position_];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        ++position_;
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        is_real = true;
+        ++position_;
+        if (position_ < source_.size() &&
+            (source_[position_] == '-' || source_[position_] == '+') &&
+            (source_[position_ - 1] == 'e' || source_[position_ - 1] == 'E')) {
+          ++position_;
+        }
+      } else {
+        break;
+      }
+    }
+    const std::string_view text = source_.substr(start, position_ - start);
+    Token token;
+    token.kind = Token::Kind::number;
+    token.text = std::string(text);
+    if (is_real) {
+      const auto value = parse_double(text);
+      if (!value) return Error{Errc::malformed, "bad number: " + token.text};
+      token.number = *value;
+      token.number_is_integer = false;
+    } else {
+      // Integral (possibly signed).
+      const bool negative = text.front() == '-';
+      const std::string_view digits =
+          (text.front() == '-' || text.front() == '+') ? text.substr(1) : text;
+      const auto magnitude = parse_u64(digits);
+      if (!magnitude || *magnitude > static_cast<std::uint64_t>(INT64_MAX)) {
+        return Error{Errc::malformed, "bad integer: " + token.text};
+      }
+      token.integer = negative ? -static_cast<std::int64_t>(*magnitude)
+                               : static_cast<std::int64_t>(*magnitude);
+      token.number_is_integer = true;
+    }
+    return token;
+  }
+
+  Token lex_identifier() {
+    const std::size_t start = position_;
+    while (position_ < source_.size()) {
+      const char c = source_[position_];
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+          c == '.' || c == '-') {
+        ++position_;
+      } else {
+        break;
+      }
+    }
+    return {Token::Kind::identifier,
+            std::string(source_.substr(start, position_ - start)), 0, false,
+            0};
+  }
+
+  Result<Token> lex_operator() {
+    static constexpr std::string_view kOps[] = {"==", "!=", "<=", ">=",
+                                                "<", ">"};
+    for (const std::string_view op : kOps) {
+      if (source_.substr(position_).starts_with(op)) {
+        position_ += op.size();
+        return Token{Token::Kind::op, std::string(op), 0, false, 0};
+      }
+    }
+    return Error{Errc::malformed,
+                 "unexpected character '" +
+                     std::string(1, source_[position_]) + "'"};
+  }
+
+  std::string_view source_;
+  std::size_t position_ = 0;
+};
+
+// ------------------------------------------------------------- parser
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<NodePtr> run() {
+    auto expr = parse_or();
+    if (!expr) return expr;
+    if (peek().kind != Token::Kind::end) {
+      return Error{Errc::malformed,
+                   "unexpected trailing token '" + peek().text + "'"};
+    }
+    return expr;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[cursor_]; }
+  Token take() { return tokens_[cursor_++]; }
+  bool take_keyword(std::string_view keyword) {
+    if (peek().kind == Token::Kind::identifier && peek().text == keyword) {
+      ++cursor_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<NodePtr> parse_or() {
+    auto lhs = parse_and();
+    if (!lhs) return lhs;
+    NodePtr node = std::move(lhs).take();
+    while (take_keyword("or")) {
+      auto rhs = parse_and();
+      if (!rhs) return rhs;
+      node = make_binary(ExprNode::Kind::logical_or, std::move(node),
+                         std::move(rhs).take());
+    }
+    return node;
+  }
+
+  Result<NodePtr> parse_and() {
+    auto lhs = parse_unary();
+    if (!lhs) return lhs;
+    NodePtr node = std::move(lhs).take();
+    while (take_keyword("and")) {
+      auto rhs = parse_unary();
+      if (!rhs) return rhs;
+      node = make_binary(ExprNode::Kind::logical_and, std::move(node),
+                         std::move(rhs).take());
+    }
+    return node;
+  }
+
+  Result<NodePtr> parse_unary() {
+    if (take_keyword("not")) {
+      auto operand = parse_unary();
+      if (!operand) return operand;
+      return make_not(std::move(operand).take());
+    }
+    return parse_primary();
+  }
+
+  Result<NodePtr> parse_primary() {
+    if (peek().kind == Token::Kind::lparen) {
+      take();
+      auto inner = parse_or();
+      if (!inner) return inner;
+      if (peek().kind != Token::Kind::rparen) {
+        return Error{Errc::malformed, "expected ')'"};
+      }
+      take();
+      return inner;
+    }
+    if (take_keyword("true")) return make_bool(true);
+    if (take_keyword("false")) return make_bool(false);
+    if (take_keyword("exists")) {
+      if (peek().kind != Token::Kind::identifier) {
+        return Error{Errc::malformed, "expected attribute after 'exists'"};
+      }
+      return make_exists(take().text);
+    }
+    if (peek().kind != Token::Kind::identifier) {
+      return Error{Errc::malformed,
+                   "expected expression, got '" + peek().text + "'"};
+    }
+    std::string attribute = take().text;
+    if (take_keyword("in")) {
+      if (peek().kind != Token::Kind::lparen) {
+        return Error{Errc::malformed, "expected '(' after 'in'"};
+      }
+      take();
+      std::vector<AttributeValue> values;
+      while (true) {
+        auto literal = parse_literal();
+        if (!literal) return literal.error();
+        values.push_back(std::move(literal).take());
+        if (peek().kind == Token::Kind::comma) {
+          take();
+          continue;
+        }
+        break;
+      }
+      if (peek().kind != Token::Kind::rparen) {
+        return Error{Errc::malformed, "expected ')' closing the 'in' list"};
+      }
+      take();
+      return make_membership(std::move(attribute), std::move(values));
+    }
+    if (peek().kind != Token::Kind::op) {
+      return Error{Errc::malformed,
+                   "expected comparison operator after '" + attribute + "'"};
+    }
+    const std::string op_text = take().text;
+    Op op;
+    if (op_text == "==") {
+      op = Op::eq;
+    } else if (op_text == "!=") {
+      op = Op::ne;
+    } else if (op_text == "<") {
+      op = Op::lt;
+    } else if (op_text == "<=") {
+      op = Op::le;
+    } else if (op_text == ">") {
+      op = Op::gt;
+    } else {
+      op = Op::ge;
+    }
+    auto literal = parse_literal();
+    if (!literal) return literal.error();
+    return make_compare(std::move(attribute), op, std::move(literal).take());
+  }
+
+  Result<AttributeValue> parse_literal() {
+    const Token literal = take();
+    switch (literal.kind) {
+      case Token::Kind::number:
+        return literal.number_is_integer ? AttributeValue(literal.integer)
+                                         : AttributeValue(literal.number);
+      case Token::Kind::string:
+        return AttributeValue(literal.text);
+      case Token::Kind::identifier:
+        if (literal.text == "true" || literal.text == "false") {
+          return AttributeValue(literal.text == "true");
+        }
+        return Error{Errc::malformed,
+                     "bare identifier '" + literal.text +
+                         "' is not a literal (quote strings)"};
+      default:
+        return Error{Errc::malformed, "expected literal operand"};
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t cursor_ = 0;
+};
+
+// -------------------------------------------------------------- codec
+
+void encode_node(const ExprNode& node, serde::Writer& w) {
+  w.u8(static_cast<std::uint8_t>(node.kind));
+  switch (node.kind) {
+    case ExprNode::Kind::literal_true:
+    case ExprNode::Kind::literal_false:
+      return;
+    case ExprNode::Kind::logical_and:
+    case ExprNode::Kind::logical_or:
+      encode_node(*node.lhs, w);
+      encode_node(*node.rhs, w);
+      return;
+    case ExprNode::Kind::logical_not:
+      encode_node(*node.lhs, w);
+      return;
+    case ExprNode::Kind::exists:
+      w.string(node.attribute);
+      return;
+    case ExprNode::Kind::compare:
+      w.string(node.attribute);
+      w.u8(static_cast<std::uint8_t>(node.op));
+      node.value.encode(w);
+      return;
+    case ExprNode::Kind::membership:
+      w.string(node.attribute);
+      w.varint(node.values.size());
+      for (const AttributeValue& value : node.values) value.encode(w);
+      return;
+  }
+}
+
+Result<NodePtr> decode_node(serde::Reader& r, int depth) {
+  if (depth > 64) return Error{Errc::malformed, "selector too deep"};
+  auto kind = r.u8();
+  if (!kind) return kind.error();
+  if (kind.value() >
+      static_cast<std::uint8_t>(ExprNode::Kind::membership)) {
+    return Error{Errc::malformed, "unknown selector node kind"};
+  }
+  switch (static_cast<ExprNode::Kind>(kind.value())) {
+    case ExprNode::Kind::literal_true:
+      return make_bool(true);
+    case ExprNode::Kind::literal_false:
+      return make_bool(false);
+    case ExprNode::Kind::logical_and:
+    case ExprNode::Kind::logical_or: {
+      auto lhs = decode_node(r, depth + 1);
+      if (!lhs) return lhs;
+      auto rhs = decode_node(r, depth + 1);
+      if (!rhs) return rhs;
+      return make_binary(static_cast<ExprNode::Kind>(kind.value()),
+                         std::move(lhs).take(), std::move(rhs).take());
+    }
+    case ExprNode::Kind::logical_not: {
+      auto operand = decode_node(r, depth + 1);
+      if (!operand) return operand;
+      return make_not(std::move(operand).take());
+    }
+    case ExprNode::Kind::exists: {
+      auto attribute = r.string();
+      if (!attribute) return attribute.error();
+      return make_exists(std::move(attribute).take());
+    }
+    case ExprNode::Kind::compare: {
+      auto attribute = r.string();
+      if (!attribute) return attribute.error();
+      auto op = r.u8();
+      if (!op) return op.error();
+      if (op.value() > static_cast<std::uint8_t>(Op::ge)) {
+        return Error{Errc::malformed, "unknown comparison operator"};
+      }
+      auto value = AttributeValue::decode(r);
+      if (!value) return value.error();
+      return make_compare(std::move(attribute).take(),
+                          static_cast<Op>(op.value()),
+                          std::move(value).take());
+    }
+    case ExprNode::Kind::membership: {
+      auto attribute = r.string();
+      if (!attribute) return attribute.error();
+      auto count = r.varint();
+      if (!count) return count.error();
+      if (count.value() == 0 || count.value() > 256) {
+        return Error{Errc::malformed, "bad membership list size"};
+      }
+      std::vector<AttributeValue> values;
+      values.reserve(count.value());
+      for (std::uint64_t i = 0; i < count.value(); ++i) {
+        auto value = AttributeValue::decode(r);
+        if (!value) return value.error();
+        values.push_back(std::move(value).take());
+      }
+      return make_membership(std::move(attribute).take(),
+                             std::move(values));
+    }
+  }
+  return Error{Errc::malformed, "unknown selector node"};
+}
+
+}  // namespace
+}  // namespace detail
+
+Selector::Selector() : root_(detail::make_bool(true)) {}
+
+Selector::Selector(std::shared_ptr<const detail::ExprNode> root)
+    : root_(std::move(root)) {
+  assert(root_ != nullptr);
+}
+
+Result<Selector> Selector::parse(std::string_view text) {
+  detail::Lexer lexer(text);
+  auto tokens = lexer.run();
+  if (!tokens) return tokens.error();
+  detail::Parser parser(std::move(tokens).take());
+  auto root = parser.run();
+  if (!root) return root.error();
+  return Selector(std::move(root).take());
+}
+
+bool Selector::matches(const AttributeSet& attributes) const {
+  return detail::evaluate(*root_, attributes);
+}
+
+std::string Selector::to_string() const {
+  std::string out;
+  detail::print(*root_, out);
+  return out;
+}
+
+Selector Selector::and_with(const Selector& other) const {
+  return Selector(detail::make_binary(detail::ExprNode::Kind::logical_and,
+                                      root_, other.root_));
+}
+
+Selector Selector::or_with(const Selector& other) const {
+  return Selector(detail::make_binary(detail::ExprNode::Kind::logical_or,
+                                      root_, other.root_));
+}
+
+Selector Selector::negate() const {
+  return Selector(detail::make_not(root_));
+}
+
+Selector Selector::always() { return Selector(); }
+
+Selector Selector::equals(std::string attribute, AttributeValue value) {
+  return Selector(detail::make_compare(std::move(attribute), detail::Op::eq,
+                                       std::move(value)));
+}
+
+Selector Selector::exists(std::string attribute) {
+  return Selector(detail::make_exists(std::move(attribute)));
+}
+
+Selector Selector::one_of(std::string attribute,
+                          std::vector<AttributeValue> values) {
+  assert(!values.empty());
+  return Selector(
+      detail::make_membership(std::move(attribute), std::move(values)));
+}
+
+void Selector::encode(serde::Writer& w) const {
+  detail::encode_node(*root_, w);
+}
+
+Result<Selector> Selector::decode(serde::Reader& r) {
+  auto root = detail::decode_node(r, 0);
+  if (!root) return root.error();
+  return Selector(std::move(root).take());
+}
+
+}  // namespace collabqos::pubsub

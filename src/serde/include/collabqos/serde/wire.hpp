@@ -1,0 +1,78 @@
+// Binary wire format: little-endian fixed-width scalars, LEB128 varints,
+// length-prefixed strings/blobs. Every protocol object in the framework
+// (semantic messages, SNMP PDUs, RTP payloads, media packets) serialises
+// through these two classes so fuzz/property tests cover one codec.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "collabqos/util/result.hpp"
+
+namespace collabqos::serde {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Append-only encoder.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { buffer_.reserve(reserve); }
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// LEB128 unsigned varint (1..10 bytes).
+  void varint(std::uint64_t v);
+  /// Zig-zag + varint for signed values.
+  void svarint(std::int64_t v);
+  void f64(double v);
+  void boolean(bool v);
+  /// varint length + raw bytes.
+  void string(std::string_view v);
+  void blob(std::span<const std::uint8_t> v);
+
+  [[nodiscard]] const Bytes& bytes() const noexcept { return buffer_; }
+  [[nodiscard]] Bytes take() && noexcept { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+/// Bounds-checked decoder over a borrowed byte span. All reads return a
+/// Result so truncated/corrupt input is an error, never UB.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  [[nodiscard]] Result<std::uint8_t> u8();
+  [[nodiscard]] Result<std::uint16_t> u16();
+  [[nodiscard]] Result<std::uint32_t> u32();
+  [[nodiscard]] Result<std::uint64_t> u64();
+  [[nodiscard]] Result<std::uint64_t> varint();
+  [[nodiscard]] Result<std::int64_t> svarint();
+  [[nodiscard]] Result<double> f64();
+  [[nodiscard]] Result<bool> boolean();
+  [[nodiscard]] Result<std::string> string();
+  [[nodiscard]] Result<Bytes> blob();
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - offset_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  [[nodiscard]] Status need(std::size_t n) const noexcept;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace collabqos::serde

@@ -1,0 +1,103 @@
+// Discrete-event simulation core. Single-threaded by design: the paper's
+// test-bed behaviour (hosts, links, radios) is modelled as events on one
+// virtual clock, which makes every experiment deterministic and allows the
+// whole "LAN" to run inside one process.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "collabqos/sim/time.hpp"
+
+namespace collabqos::sim {
+
+/// Event identifier; usable to cancel a pending event.
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+
+  /// Schedule `action` at absolute time `when` (>= now). Events scheduled
+  /// for the same instant run in scheduling order (FIFO).
+  EventId schedule_at(TimePoint when, Action action);
+
+  /// Schedule `action` after `delay` from now.
+  EventId schedule_after(Duration delay, Action action);
+
+  /// Cancel a pending event. Returns false if it already ran or is unknown.
+  bool cancel(EventId id);
+
+  /// Run events until the queue is empty or the horizon is passed.
+  /// Returns the number of events executed.
+  std::size_t run_until(TimePoint horizon);
+
+  /// Drain every pending event (use only for bounded scenarios).
+  std::size_t run_all();
+
+  /// Run exactly one event if any is pending; returns whether one ran.
+  bool step();
+
+  [[nodiscard]] std::size_t pending() const noexcept;
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t sequence;  // FIFO tie-break within an instant
+    EventId id;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  bool pop_next(Entry& out);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<EventId> cancelled_;  // small; linear scan on pop
+  TimePoint now_{};
+  std::uint64_t next_sequence_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t cancelled_pending_ = 0;
+};
+
+/// Repeating timer helper built on the simulator (RAII: cancels on
+/// destruction). Used for RTCP report intervals, SNMP polling loops and
+/// base-station SIR re-evaluation.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& simulator, Duration period,
+                std::function<void()> tick);
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+  ~PeriodicTimer();
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+ private:
+  void arm();
+
+  Simulator& simulator_;
+  Duration period_;
+  std::function<void()> tick_;
+  EventId pending_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace collabqos::sim

@@ -1,0 +1,197 @@
+#include "collabqos/snmp/ber.hpp"
+
+namespace collabqos::snmp::ber {
+
+namespace {
+
+void write_length(serde::Writer& out, std::size_t length) {
+  if (length < 128) {
+    out.u8(static_cast<std::uint8_t>(length));
+    return;
+  }
+  // Long form: 0x80 | count, then big-endian length octets.
+  std::uint8_t octets[8];
+  int count = 0;
+  std::size_t remaining = length;
+  while (remaining > 0) {
+    octets[count++] = static_cast<std::uint8_t>(remaining & 0xFF);
+    remaining >>= 8;
+  }
+  out.u8(static_cast<std::uint8_t>(0x80 | count));
+  for (int i = count - 1; i >= 0; --i) out.u8(octets[i]);
+}
+
+}  // namespace
+
+void write_tlv(serde::Writer& out, std::uint8_t tag,
+               std::span<const std::uint8_t> content) {
+  out.u8(tag);
+  write_length(out, content.size());
+  for (const std::uint8_t byte : content) out.u8(byte);
+}
+
+void write_integer(serde::Writer& out, std::int64_t value) {
+  // Minimal two's-complement: strip redundant leading 0x00/0xFF octets.
+  std::uint8_t octets[8];
+  for (int i = 0; i < 8; ++i) {
+    octets[i] = static_cast<std::uint8_t>(
+        (static_cast<std::uint64_t>(value) >> (8 * (7 - i))) & 0xFF);
+  }
+  int start = 0;
+  while (start < 7) {
+    const bool redundant_zero =
+        octets[start] == 0x00 && (octets[start + 1] & 0x80) == 0;
+    const bool redundant_ff =
+        octets[start] == 0xFF && (octets[start + 1] & 0x80) != 0;
+    if (!redundant_zero && !redundant_ff) break;
+    ++start;
+  }
+  write_tlv(out, tags::kInteger,
+            std::span(octets + start, static_cast<std::size_t>(8 - start)));
+}
+
+void write_unsigned(serde::Writer& out, std::uint8_t tag,
+                    std::uint64_t value) {
+  std::uint8_t octets[9];
+  octets[0] = 0x00;  // room for the sign-protection byte
+  for (int i = 0; i < 8; ++i) {
+    octets[i + 1] =
+        static_cast<std::uint8_t>((value >> (8 * (7 - i))) & 0xFF);
+  }
+  int start = 1;
+  while (start < 8 && octets[start] == 0x00) ++start;
+  // Keep a leading zero when the first value octet has the high bit set.
+  if ((octets[start] & 0x80) != 0) --start;
+  write_tlv(out, tag,
+            std::span(octets + start, static_cast<std::size_t>(9 - start)));
+}
+
+void write_octet_string(serde::Writer& out, std::string_view value) {
+  write_tlv(out, tags::kOctetString,
+            std::span(reinterpret_cast<const std::uint8_t*>(value.data()),
+                      value.size()));
+}
+
+void write_null(serde::Writer& out) { write_tlv(out, tags::kNull, {}); }
+
+Status write_oid(serde::Writer& out, const Oid& oid) {
+  if (oid.size() < 2 || oid[0] > 2 || (oid[0] < 2 && oid[1] > 39)) {
+    return Status(Errc::malformed, "OID not encodable in X.690 form");
+  }
+  serde::Writer content;
+  content.u8(static_cast<std::uint8_t>(40 * oid[0] + oid[1]));
+  for (std::size_t i = 2; i < oid.size(); ++i) {
+    const std::uint32_t arc = oid[i];
+    std::uint8_t groups[5];
+    int count = 0;
+    std::uint32_t remaining = arc;
+    do {
+      groups[count++] = static_cast<std::uint8_t>(remaining & 0x7F);
+      remaining >>= 7;
+    } while (remaining > 0);
+    for (int g = count - 1; g >= 1; --g) {
+      content.u8(static_cast<std::uint8_t>(groups[g] | 0x80));
+    }
+    content.u8(groups[0]);
+  }
+  write_tlv(out, tags::kOid, content.bytes());
+  return {};
+}
+
+Result<Tlv> Reader::next() {
+  if (offset_ >= data_.size()) {
+    return Error{Errc::malformed, "BER input exhausted"};
+  }
+  Tlv tlv;
+  tlv.tag = data_[offset_++];
+  if (offset_ >= data_.size()) {
+    return Error{Errc::malformed, "missing BER length"};
+  }
+  std::size_t length = data_[offset_++];
+  if (length & 0x80) {
+    const std::size_t count = length & 0x7F;
+    if (count == 0 || count > 8) {
+      return Error{Errc::malformed, "unsupported BER length form"};
+    }
+    if (offset_ + count > data_.size()) {
+      return Error{Errc::malformed, "truncated BER length"};
+    }
+    length = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      length = (length << 8) | data_[offset_++];
+    }
+  }
+  if (offset_ + length > data_.size()) {
+    return Error{Errc::malformed, "truncated BER content"};
+  }
+  tlv.content = data_.subspan(offset_, length);
+  offset_ += length;
+  return tlv;
+}
+
+Result<Tlv> Reader::expect(std::uint8_t tag) {
+  auto tlv = next();
+  if (!tlv) return tlv;
+  if (tlv.value().tag != tag) {
+    return Error{Errc::malformed,
+                 "unexpected BER tag " + std::to_string(tlv.value().tag) +
+                     " (wanted " + std::to_string(tag) + ")"};
+  }
+  return tlv;
+}
+
+Result<std::int64_t> read_integer(std::span<const std::uint8_t> content) {
+  if (content.empty() || content.size() > 8) {
+    return Error{Errc::malformed, "bad INTEGER length"};
+  }
+  std::int64_t value = (content[0] & 0x80) != 0 ? -1 : 0;
+  for (const std::uint8_t byte : content) {
+    value = static_cast<std::int64_t>(
+        (static_cast<std::uint64_t>(value) << 8) | byte);
+  }
+  return value;
+}
+
+Result<std::uint64_t> read_unsigned(std::span<const std::uint8_t> content) {
+  if (content.empty() || content.size() > 9 ||
+      (content.size() == 9 && content[0] != 0x00)) {
+    return Error{Errc::malformed, "bad unsigned length"};
+  }
+  std::uint64_t value = 0;
+  for (const std::uint8_t byte : content) {
+    value = (value << 8) | byte;
+  }
+  return value;
+}
+
+Result<Oid> read_oid(std::span<const std::uint8_t> content) {
+  if (content.empty()) return Error{Errc::malformed, "empty OID"};
+  std::vector<std::uint32_t> arcs;
+  const std::uint8_t head = content[0];
+  arcs.push_back(head / 40 > 2 ? 2 : head / 40);
+  arcs.push_back(head / 40 > 2 ? head - 80 : head % 40);
+  std::uint32_t arc = 0;
+  int continuation = 0;
+  for (std::size_t i = 1; i < content.size(); ++i) {
+    const std::uint8_t byte = content[i];
+    if (arc > (UINT32_MAX >> 7)) {
+      return Error{Errc::malformed, "OID arc overflow"};
+    }
+    arc = (arc << 7) | (byte & 0x7F);
+    if (byte & 0x80) {
+      if (++continuation > 5) {
+        return Error{Errc::malformed, "OID arc too long"};
+      }
+      continue;
+    }
+    arcs.push_back(arc);
+    arc = 0;
+    continuation = 0;
+  }
+  if (continuation != 0) {
+    return Error{Errc::malformed, "truncated OID arc"};
+  }
+  return Oid(std::move(arcs));
+}
+
+}  // namespace collabqos::snmp::ber

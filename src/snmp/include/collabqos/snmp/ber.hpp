@@ -1,0 +1,91 @@
+// ASN.1 BER (Basic Encoding Rules) — the subset SNMP uses on the wire:
+// definite-length TLVs, INTEGER, OCTET STRING, NULL, OBJECT IDENTIFIER,
+// SEQUENCE, the SMI application types (Counter32/Gauge32/TimeTicks/
+// Counter64) and context-class PDU tags. Pdu::encode/decode sit on top
+// of this, so the simulated datagrams carry genuine SNMPv2c messages a
+// real dissector would parse.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "collabqos/serde/wire.hpp"
+#include "collabqos/snmp/oid.hpp"
+#include "collabqos/util/result.hpp"
+
+namespace collabqos::snmp::ber {
+
+/// Universal / application / context tags used by SNMP.
+namespace tags {
+inline constexpr std::uint8_t kInteger = 0x02;
+inline constexpr std::uint8_t kOctetString = 0x04;
+inline constexpr std::uint8_t kNull = 0x05;
+inline constexpr std::uint8_t kOid = 0x06;
+inline constexpr std::uint8_t kSequence = 0x30;
+// SMI application class.
+inline constexpr std::uint8_t kCounter32 = 0x41;
+inline constexpr std::uint8_t kGauge32 = 0x42;
+inline constexpr std::uint8_t kTimeTicks = 0x43;
+inline constexpr std::uint8_t kCounter64 = 0x46;
+// Context-class constructed PDU tags (SNMPv2c).
+inline constexpr std::uint8_t kGetRequest = 0xA0;
+inline constexpr std::uint8_t kGetNextRequest = 0xA1;
+inline constexpr std::uint8_t kResponse = 0xA2;
+inline constexpr std::uint8_t kSetRequest = 0xA3;
+inline constexpr std::uint8_t kGetBulkRequest = 0xA5;
+inline constexpr std::uint8_t kTrapV2 = 0xA7;
+}  // namespace tags
+
+/// Append one definite-length TLV: tag, length octets, raw content.
+void write_tlv(serde::Writer& out, std::uint8_t tag,
+               std::span<const std::uint8_t> content);
+
+/// INTEGER with minimal two's-complement content octets.
+void write_integer(serde::Writer& out, std::int64_t value);
+/// Unsigned value under an application tag (Counter32/Gauge32/...):
+/// minimal unsigned content with a leading 0x00 when the high bit is set.
+void write_unsigned(serde::Writer& out, std::uint8_t tag,
+                    std::uint64_t value);
+void write_octet_string(serde::Writer& out, std::string_view value);
+void write_null(serde::Writer& out);
+/// X.690 OID content: first two arcs fold into 40*a+b, the rest base-128.
+/// Requires at least 2 arcs with arcs[0] <= 2.
+Status write_oid(serde::Writer& out, const Oid& oid);
+
+/// A decoded TLV header plus its content span (borrowed from the input).
+struct Tlv {
+  std::uint8_t tag = 0;
+  std::span<const std::uint8_t> content;
+};
+
+/// Streaming BER reader over a byte span.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  /// Read the next TLV (content is a sub-span; no copy).
+  [[nodiscard]] Result<Tlv> next();
+  /// Read the next TLV and require `tag`.
+  [[nodiscard]] Result<Tlv> expect(std::uint8_t tag);
+
+  [[nodiscard]] bool exhausted() const noexcept {
+    return offset_ >= data_.size();
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t offset_ = 0;
+};
+
+/// Decode INTEGER content octets (two's complement, up to 8 bytes).
+[[nodiscard]] Result<std::int64_t> read_integer(
+    std::span<const std::uint8_t> content);
+/// Decode unsigned application-type content (up to 8 value bytes plus an
+/// optional leading 0x00).
+[[nodiscard]] Result<std::uint64_t> read_unsigned(
+    std::span<const std::uint8_t> content);
+/// Decode OID content octets.
+[[nodiscard]] Result<Oid> read_oid(std::span<const std::uint8_t> content);
+
+}  // namespace collabqos::snmp::ber

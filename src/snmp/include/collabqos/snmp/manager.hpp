@@ -1,0 +1,99 @@
+// SNMP manager: the framework's "manager component that runs on the
+// management station" (paper §5.5). Asynchronous request/response with
+// request-id correlation, per-request timeout and bounded retries —
+// everything the inference engine needs to poll network elements.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collabqos/net/network.hpp"
+#include "collabqos/snmp/pdu.hpp"
+
+namespace collabqos::snmp {
+
+struct ManagerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t traps_received = 0;
+};
+
+struct ManagerOptions {
+  sim::Duration timeout = sim::Duration::millis(500);
+  int retries = 2;  ///< additional attempts after the first
+};
+
+class Manager {
+ public:
+  using Callback = std::function<void(Result<Pdu>)>;
+  using Options = ManagerOptions;
+
+  Manager(net::Network& network, net::NodeId node, Options options = {});
+
+  /// GET one or more OIDs from the agent at `agent` (node:161).
+  void get(net::NodeId agent, const std::string& community,
+           std::vector<Oid> oids, Callback callback);
+
+  /// GETNEXT (one step of a walk).
+  void get_next(net::NodeId agent, const std::string& community,
+                std::vector<Oid> oids, Callback callback);
+
+  /// SET varbinds.
+  void set(net::NodeId agent, const std::string& community,
+           std::vector<VarBind> bindings, Callback callback);
+
+  /// GETBULK: up to `max_repetitions` successors of each OID in one
+  /// round trip (v2c-style bulk retrieval; cheaper than walking).
+  void get_bulk(net::NodeId agent, const std::string& community,
+                std::vector<Oid> oids, std::uint32_t max_repetitions,
+                Callback callback);
+
+  /// Walk an entire subtree; calls `callback` once with every varbind
+  /// under `root` (in lexicographic order) or the first error.
+  void walk(net::NodeId agent, const std::string& community, const Oid& root,
+            std::function<void(Result<std::vector<VarBind>>)> callback);
+
+  /// Same result as walk(), but over GETBULK: ~max_repetitions objects
+  /// per round trip instead of one.
+  void bulk_walk(net::NodeId agent, const std::string& community,
+                 const Oid& root, std::uint32_t max_repetitions,
+                 std::function<void(Result<std::vector<VarBind>>)> callback);
+
+  [[nodiscard]] const ManagerStats& stats() const noexcept { return stats_; }
+
+  /// Receive unsolicited traps. Opens the trap sink (node:162) on first
+  /// use; fails with Errc::conflict if another listener holds the port.
+  using TrapHandler = std::function<void(net::NodeId agent, const Pdu&)>;
+  Status listen_for_traps(TrapHandler handler);
+
+ private:
+  struct Outstanding {
+    Pdu request;
+    net::Address agent;
+    Callback callback;
+    int attempts_left = 0;
+    sim::EventId timeout_event = 0;
+  };
+
+  void send_request(Pdu pdu, net::Address agent, Callback callback);
+  void transmit(std::uint32_t request_id);
+  void on_datagram(const net::Datagram& datagram);
+  void on_timeout(std::uint32_t request_id);
+
+  net::Network& network_;
+  std::unique_ptr<net::Endpoint> endpoint_;
+  std::unique_ptr<net::Endpoint> trap_endpoint_;
+  TrapHandler trap_handler_;
+  Options options_;
+  std::map<std::uint32_t, Outstanding> outstanding_;
+  std::uint32_t next_request_id_ = 1;
+  ManagerStats stats_;
+};
+
+}  // namespace collabqos::snmp

@@ -1,0 +1,64 @@
+// SMI value types carried in varbinds. A trimmed but faithful subset:
+// INTEGER, Gauge32, Counter32, TimeTicks, OCTET STRING, OBJECT IDENTIFIER.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "collabqos/serde/wire.hpp"
+#include "collabqos/snmp/oid.hpp"
+#include "collabqos/util/result.hpp"
+
+namespace collabqos::snmp {
+
+enum class ValueType : std::uint8_t {
+  integer = 0,      ///< signed 64-bit (SMI INTEGER widened)
+  gauge = 1,        ///< non-negative, clamps (Gauge32 widened)
+  counter = 2,      ///< monotonically increasing, wraps (Counter64)
+  timeticks = 3,    ///< hundredths of a second
+  octet_string = 4,
+  object_id = 5,
+  null = 6,         ///< ASN.1 NULL — the value slot of a request varbind
+};
+
+class Value {
+ public:
+  /// Default-constructed values are NULL (what GET/GETNEXT requests
+  /// carry in the value position).
+  Value() : data_(std::int64_t{0}), type_(ValueType::null) {}
+
+  [[nodiscard]] static Value integer(std::int64_t v);
+  [[nodiscard]] static Value gauge(std::uint64_t v);
+  [[nodiscard]] static Value counter(std::uint64_t v);
+  [[nodiscard]] static Value timeticks(std::uint64_t hundredths);
+  [[nodiscard]] static Value octets(std::string v);
+  [[nodiscard]] static Value object_id(Oid v);
+
+  [[nodiscard]] ValueType type() const noexcept { return type_; }
+
+  /// Typed accessors; Errc::malformed if the type does not match.
+  [[nodiscard]] Result<std::int64_t> as_integer() const;
+  [[nodiscard]] Result<std::uint64_t> as_unsigned() const;  ///< gauge/counter/ticks
+  [[nodiscard]] Result<std::string> as_octets() const;
+  [[nodiscard]] Result<Oid> as_object_id() const;
+
+  /// Best-effort numeric view (integer/gauge/counter/ticks); malformed
+  /// for strings and OIDs. The inference engine consumes metrics this way.
+  [[nodiscard]] Result<double> as_number() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  void encode(serde::Writer& w) const;
+  [[nodiscard]] static Result<Value> decode(serde::Reader& r);
+
+  friend bool operator==(const Value& a, const Value& b) noexcept {
+    return a.type_ == b.type_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::variant<std::int64_t, std::uint64_t, std::string, Oid> data_;
+  ValueType type_;
+};
+
+}  // namespace collabqos::snmp

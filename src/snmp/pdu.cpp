@@ -1,0 +1,273 @@
+#include "collabqos/snmp/pdu.hpp"
+
+#include <algorithm>
+
+#include "collabqos/snmp/ber.hpp"
+
+namespace collabqos::snmp {
+
+namespace {
+
+constexpr std::int64_t kSnmpV2c = 1;  // version field value for v2c
+
+std::uint8_t pdu_tag(PduType type) noexcept {
+  switch (type) {
+    case PduType::get: return ber::tags::kGetRequest;
+    case PduType::get_next: return ber::tags::kGetNextRequest;
+    case PduType::set: return ber::tags::kSetRequest;
+    case PduType::response: return ber::tags::kResponse;
+    case PduType::trap: return ber::tags::kTrapV2;
+    case PduType::get_bulk: return ber::tags::kGetBulkRequest;
+  }
+  return ber::tags::kGetRequest;
+}
+
+Result<PduType> pdu_type_from_tag(std::uint8_t tag) {
+  switch (tag) {
+    case ber::tags::kGetRequest: return PduType::get;
+    case ber::tags::kGetNextRequest: return PduType::get_next;
+    case ber::tags::kSetRequest: return PduType::set;
+    case ber::tags::kResponse: return PduType::response;
+    case ber::tags::kTrapV2: return PduType::trap;
+    case ber::tags::kGetBulkRequest: return PduType::get_bulk;
+    default:
+      return Error{Errc::malformed, "unknown PDU tag"};
+  }
+}
+
+Status write_value(serde::Writer& out, const Value& value) {
+  switch (value.type()) {
+    case ValueType::integer:
+      ber::write_integer(out, value.as_integer().value());
+      return {};
+    case ValueType::gauge:
+      ber::write_unsigned(out, ber::tags::kGauge32,
+                          std::min<std::uint64_t>(value.as_unsigned().value(),
+                                                  UINT32_MAX));
+      return {};
+    case ValueType::counter:
+      ber::write_unsigned(out, ber::tags::kCounter64,
+                          value.as_unsigned().value());
+      return {};
+    case ValueType::timeticks:
+      ber::write_unsigned(out, ber::tags::kTimeTicks,
+                          std::min<std::uint64_t>(value.as_unsigned().value(),
+                                                  UINT32_MAX));
+      return {};
+    case ValueType::octet_string:
+      ber::write_octet_string(out, value.as_octets().value());
+      return {};
+    case ValueType::object_id:
+      return ber::write_oid(out, value.as_object_id().value());
+    case ValueType::null:
+      ber::write_null(out);
+      return {};
+  }
+  return Status(Errc::internal, "unencodable value type");
+}
+
+Result<Value> read_value(const ber::Tlv& tlv) {
+  switch (tlv.tag) {
+    case ber::tags::kInteger: {
+      auto v = ber::read_integer(tlv.content);
+      if (!v) return v.error();
+      return Value::integer(v.value());
+    }
+    case ber::tags::kGauge32: {
+      auto v = ber::read_unsigned(tlv.content);
+      if (!v) return v.error();
+      return Value::gauge(v.value());
+    }
+    case ber::tags::kCounter32:
+    case ber::tags::kCounter64: {
+      auto v = ber::read_unsigned(tlv.content);
+      if (!v) return v.error();
+      return Value::counter(v.value());
+    }
+    case ber::tags::kTimeTicks: {
+      auto v = ber::read_unsigned(tlv.content);
+      if (!v) return v.error();
+      return Value::timeticks(v.value());
+    }
+    case ber::tags::kOctetString:
+      return Value::octets(std::string(
+          reinterpret_cast<const char*>(tlv.content.data()),
+          tlv.content.size()));
+    case ber::tags::kOid: {
+      auto oid = ber::read_oid(tlv.content);
+      if (!oid) return oid.error();
+      return Value::object_id(std::move(oid).take());
+    }
+    case ber::tags::kNull:
+      if (!tlv.content.empty()) {
+        return Error{Errc::malformed, "NULL with content"};
+      }
+      return Value{};
+    default:
+      return Error{Errc::malformed, "unknown value tag"};
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(PduType type) noexcept {
+  switch (type) {
+    case PduType::get: return "GET";
+    case PduType::get_next: return "GETNEXT";
+    case PduType::set: return "SET";
+    case PduType::response: return "RESPONSE";
+    case PduType::trap: return "TRAP";
+    case PduType::get_bulk: return "GETBULK";
+  }
+  return "?";
+}
+
+std::string_view to_string(ErrorStatus status) noexcept {
+  switch (status) {
+    case ErrorStatus::no_error: return "noError";
+    case ErrorStatus::too_big: return "tooBig";
+    case ErrorStatus::no_such_name: return "noSuchName";
+    case ErrorStatus::bad_value: return "badValue";
+    case ErrorStatus::read_only: return "readOnly";
+    case ErrorStatus::gen_err: return "genErr";
+    case ErrorStatus::no_access: return "noAccess";
+  }
+  return "?";
+}
+
+serde::Bytes Pdu::encode() const {
+  // varbind-list := SEQUENCE OF SEQUENCE { OID, value }
+  serde::Writer varbind_list;
+  for (const VarBind& vb : bindings) {
+    serde::Writer one;
+    // Unencodable OIDs (fewer than 2 arcs) get a defensive padding so
+    // internal tests with toy OIDs still round-trip: prefix 0.0.
+    if (auto status = ber::write_oid(one, vb.oid); !status.ok()) {
+      Oid padded = Oid{0, 0}.concat(vb.oid);
+      (void)ber::write_oid(one, padded);
+    }
+    (void)write_value(one, vb.value);
+    ber::write_tlv(varbind_list, ber::tags::kSequence, one.bytes());
+  }
+
+  // pdu-content := request-id, error-status, error-index, varbind-list
+  serde::Writer pdu_content;
+  ber::write_integer(pdu_content, static_cast<std::int64_t>(request_id));
+  ber::write_integer(pdu_content,
+                     static_cast<std::int64_t>(error_status));
+  ber::write_integer(pdu_content, static_cast<std::int64_t>(error_index));
+  ber::write_tlv(pdu_content, ber::tags::kSequence, varbind_list.bytes());
+
+  // message := SEQUENCE { version, community, [tag] pdu-content }
+  serde::Writer message_content;
+  ber::write_integer(message_content, kSnmpV2c);
+  ber::write_octet_string(message_content, community);
+  ber::write_tlv(message_content, pdu_tag(type), pdu_content.bytes());
+
+  serde::Writer message;
+  ber::write_tlv(message, ber::tags::kSequence, message_content.bytes());
+  return std::move(message).take();
+}
+
+Result<Pdu> Pdu::decode(std::span<const std::uint8_t> bytes) {
+  ber::Reader outer(bytes);
+  auto message = outer.expect(ber::tags::kSequence);
+  if (!message) return message.error();
+  if (!outer.exhausted()) {
+    return Error{Errc::malformed, "trailing bytes after SNMP message"};
+  }
+
+  ber::Reader fields(message.value().content);
+  auto version_tlv = fields.expect(ber::tags::kInteger);
+  if (!version_tlv) return version_tlv.error();
+  auto version = ber::read_integer(version_tlv.value().content);
+  if (!version) return version.error();
+  if (version.value() != kSnmpV2c) {
+    return Error{Errc::unsupported, "unsupported SNMP version"};
+  }
+
+  Pdu pdu;
+  auto community_tlv = fields.expect(ber::tags::kOctetString);
+  if (!community_tlv) return community_tlv.error();
+  pdu.community.assign(
+      reinterpret_cast<const char*>(community_tlv.value().content.data()),
+      community_tlv.value().content.size());
+
+  auto pdu_tlv = fields.next();
+  if (!pdu_tlv) return pdu_tlv.error();
+  auto type = pdu_type_from_tag(pdu_tlv.value().tag);
+  if (!type) return type.error();
+  pdu.type = type.value();
+  if (!fields.exhausted()) {
+    return Error{Errc::malformed, "trailing fields in SNMP message"};
+  }
+
+  ber::Reader body(pdu_tlv.value().content);
+  auto request_tlv = body.expect(ber::tags::kInteger);
+  if (!request_tlv) return request_tlv.error();
+  auto request_id = ber::read_integer(request_tlv.value().content);
+  if (!request_id) return request_id.error();
+  pdu.request_id = static_cast<std::uint32_t>(request_id.value());
+
+  auto status_tlv = body.expect(ber::tags::kInteger);
+  if (!status_tlv) return status_tlv.error();
+  auto status = ber::read_integer(status_tlv.value().content);
+  if (!status) return status.error();
+  if (pdu.type != PduType::get_bulk &&
+      (status.value() < 0 ||
+       status.value() > static_cast<int>(ErrorStatus::no_access))) {
+    return Error{Errc::malformed, "unknown error status"};
+  }
+  pdu.error_status = static_cast<ErrorStatus>(status.value());
+
+  auto index_tlv = body.expect(ber::tags::kInteger);
+  if (!index_tlv) return index_tlv.error();
+  auto error_index = ber::read_integer(index_tlv.value().content);
+  if (!error_index) return error_index.error();
+  if (error_index.value() < 0) {
+    return Error{Errc::malformed, "negative error index"};
+  }
+  pdu.error_index = static_cast<std::uint32_t>(error_index.value());
+
+  auto list_tlv = body.expect(ber::tags::kSequence);
+  if (!list_tlv) return list_tlv.error();
+  if (!body.exhausted()) {
+    return Error{Errc::malformed, "trailing fields in PDU"};
+  }
+
+  ber::Reader list(list_tlv.value().content);
+  while (!list.exhausted()) {
+    if (pdu.bindings.size() >= kMaxBindings) {
+      return Error{Errc::malformed, "too many varbinds"};
+    }
+    auto vb_tlv = list.expect(ber::tags::kSequence);
+    if (!vb_tlv) return vb_tlv.error();
+    ber::Reader vb_fields(vb_tlv.value().content);
+    auto oid_tlv = vb_fields.expect(ber::tags::kOid);
+    if (!oid_tlv) return oid_tlv.error();
+    auto oid = ber::read_oid(oid_tlv.value().content);
+    if (!oid) return oid.error();
+    auto value_tlv = vb_fields.next();
+    if (!value_tlv) return value_tlv.error();
+    auto value = read_value(value_tlv.value());
+    if (!value) return value.error();
+    if (!vb_fields.exhausted()) {
+      return Error{Errc::malformed, "trailing fields in varbind"};
+    }
+    VarBind vb;
+    // Strip the defensive 0.0 padding applied to toy OIDs at encode.
+    Oid decoded_oid = std::move(oid).take();
+    if (decoded_oid.size() >= 2 && decoded_oid[0] == 0 &&
+        decoded_oid[1] == 0) {
+      std::vector<std::uint32_t> arcs(decoded_oid.arcs().begin() + 2,
+                                      decoded_oid.arcs().end());
+      decoded_oid = Oid(std::move(arcs));
+    }
+    vb.oid = std::move(decoded_oid);
+    vb.value = std::move(value).take();
+    pdu.bindings.push_back(std::move(vb));
+  }
+  return pdu;
+}
+
+}  // namespace collabqos::snmp

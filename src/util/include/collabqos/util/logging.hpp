@@ -1,0 +1,65 @@
+// Minimal leveled logger. The framework is a simulator, so logging is
+// synchronous and deterministic; a global level gate keeps hot paths cheap
+// (a disabled level costs one relaxed atomic load).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace collabqos {
+
+enum class LogLevel : std::uint8_t { trace = 0, debug, info, warn, error, off };
+
+std::string_view to_string(LogLevel level) noexcept;
+
+/// Process-wide logging configuration.
+class Logging {
+ public:
+  static void set_level(LogLevel level) noexcept;
+  static LogLevel level() noexcept;
+  /// True when `level` would currently be emitted.
+  static bool enabled(LogLevel level) noexcept;
+  /// Emit one line: "[level] component: message".
+  static void write(LogLevel level, std::string_view component,
+                    std::string_view message);
+
+ private:
+  static std::atomic<LogLevel> level_;
+};
+
+/// Stream-style log statement builder; emits on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logging::write(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace collabqos
+
+#define COLLABQOS_LOG(level, component)              \
+  if (!::collabqos::Logging::enabled(level)) {       \
+  } else                                             \
+    ::collabqos::LogLine(level, component)
+
+#define CQ_TRACE(component) COLLABQOS_LOG(::collabqos::LogLevel::trace, component)
+#define CQ_DEBUG(component) COLLABQOS_LOG(::collabqos::LogLevel::debug, component)
+#define CQ_INFO(component) COLLABQOS_LOG(::collabqos::LogLevel::info, component)
+#define CQ_WARN(component) COLLABQOS_LOG(::collabqos::LogLevel::warn, component)
+#define CQ_ERROR(component) COLLABQOS_LOG(::collabqos::LogLevel::error, component)

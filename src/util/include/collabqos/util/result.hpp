@@ -1,0 +1,113 @@
+// Result<T> — a lightweight expected-like error channel used across the
+// framework where failure is an ordinary outcome (network timeouts, SNMP
+// errors, parse errors) rather than a programming bug.
+//
+// The error payload is a small value type (code + human message) so call
+// sites can branch on the code and log the message. Exceptions remain
+// reserved for precondition violations and unrecoverable states.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace collabqos {
+
+/// Coarse error taxonomy shared by all subsystems.
+enum class Errc : std::uint8_t {
+  ok = 0,
+  timeout,          ///< request gave up waiting for a response
+  unreachable,      ///< destination unknown / not joined / link down
+  no_such_object,   ///< lookup missed (OID, profile key, session, ...)
+  access_denied,    ///< authentication / community string / read-only
+  malformed,        ///< could not parse or decode the input
+  out_of_range,     ///< value violates a documented bound
+  conflict,         ///< concurrency-control arbitration lost
+  unsupported,      ///< operation not supported by this entity
+  resource_limit,   ///< capacity exceeded (queue, session size, ...)
+  internal,         ///< invariant breach escaped as an error
+};
+
+/// Human-readable name for an error code (stable, for logs and tests).
+std::string_view to_string(Errc code) noexcept;
+
+/// Error value: code plus a free-form context message.
+struct Error {
+  Errc code = Errc::internal;
+  std::string message;
+
+  friend bool operator==(const Error& a, const Error& b) noexcept {
+    return a.code == b.code;  // messages are context, not identity
+  }
+};
+
+/// Minimal expected-like type. Engineered for the common cases only:
+/// construct from value or Error, test, and extract.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Result(Error error) : state_(std::in_place_index<1>, std::move(error)) {}
+  Result(Errc code, std::string message)
+      : state_(std::in_place_index<1>, Error{code, std::move(message)}) {}
+
+  [[nodiscard]] bool ok() const noexcept { return state_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] T&& take() && {
+    assert(ok());
+    return std::get<0>(std::move(state_));
+  }
+
+  [[nodiscard]] const Error& error() const& {
+    assert(!ok());
+    return std::get<1>(state_);
+  }
+  [[nodiscard]] Errc code() const noexcept {
+    return ok() ? Errc::ok : std::get<1>(state_).code;
+  }
+
+  /// Value or a caller-supplied fallback; never throws.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<0>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Result specialisation for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // success
+  Status(Error error) : error_(std::move(error)), failed_(true) {}
+  Status(Errc code, std::string message)
+      : error_{code, std::move(message)}, failed_(true) {}
+
+  [[nodiscard]] bool ok() const noexcept { return !failed_; }
+  explicit operator bool() const noexcept { return ok(); }
+  [[nodiscard]] const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+  [[nodiscard]] Errc code() const noexcept {
+    return failed_ ? error_.code : Errc::ok;
+  }
+
+ private:
+  Error error_{};
+  bool failed_ = false;
+};
+
+}  // namespace collabqos

@@ -1,0 +1,72 @@
+// Small statistics toolkit used by benches, RTCP receiver reports and the
+// system-state monitors: streaming moments, reservoir-free percentiles over
+// bounded samples, and exponentially-weighted moving averages.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace collabqos {
+
+/// Streaming mean/variance/min/max (Welford). O(1) space.
+class RunningStats {
+ public:
+  void add(double sample) noexcept;
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores all samples; offers exact quantiles. For bench-sized data sets.
+class SampleSet {
+ public:
+  void add(double sample);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] double mean() const noexcept;
+  /// Exact quantile by linear interpolation; q in [0,1]. Requires samples.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Exponentially weighted moving average, the classic RTT/jitter estimator
+/// shape (RFC 3550 uses alpha = 1/16 for jitter).
+class Ewma {
+ public:
+  explicit Ewma(double alpha) noexcept : alpha_(alpha) {}
+
+  void add(double sample) noexcept {
+    value_ = seeded_ ? (1.0 - alpha_) * value_ + alpha_ * sample : sample;
+    seeded_ = true;
+  }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] bool seeded() const noexcept { return seeded_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+}  // namespace collabqos

@@ -1,0 +1,38 @@
+// String helpers shared by the selector language, SNMP OID parsing and the
+// bench table printers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace collabqos {
+
+/// Split on a single-character delimiter; empty fields are preserved.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text,
+                                                  char delimiter);
+
+/// Strip ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// Lower-case ASCII copy.
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+/// Parse a non-negative integer; nullopt on any non-digit or overflow.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(
+    std::string_view text) noexcept;
+
+/// Parse a double via strtod semantics; nullopt unless the whole string
+/// is consumed.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text);
+
+/// "12.3 KiB"-style human byte formatting (binary prefixes).
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+/// True when `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text,
+                               std::string_view prefix) noexcept;
+
+}  // namespace collabqos

@@ -1,0 +1,49 @@
+#include "collabqos/util/logging.hpp"
+
+#include <iostream>
+#include <mutex>
+
+namespace collabqos {
+
+std::atomic<LogLevel> Logging::level_{LogLevel::warn};
+
+namespace {
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::trace: return "trace";
+    case LogLevel::debug: return "debug";
+    case LogLevel::info: return "info";
+    case LogLevel::warn: return "warn";
+    case LogLevel::error: return "error";
+    case LogLevel::off: return "off";
+  }
+  return "?";
+}
+
+void Logging::set_level(LogLevel level) noexcept {
+  level_.store(level, std::memory_order_relaxed);
+}
+
+LogLevel Logging::level() noexcept {
+  return level_.load(std::memory_order_relaxed);
+}
+
+bool Logging::enabled(LogLevel level) noexcept {
+  return level >= level_.load(std::memory_order_relaxed) &&
+         level != LogLevel::off;
+}
+
+void Logging::write(LogLevel level, std::string_view component,
+                    std::string_view message) {
+  std::scoped_lock lock(sink_mutex());
+  std::clog << '[' << to_string(level) << "] " << component << ": " << message
+            << '\n';
+}
+
+}  // namespace collabqos

@@ -1,0 +1,22 @@
+#include "collabqos/util/result.hpp"
+
+namespace collabqos {
+
+std::string_view to_string(Errc code) noexcept {
+  switch (code) {
+    case Errc::ok: return "ok";
+    case Errc::timeout: return "timeout";
+    case Errc::unreachable: return "unreachable";
+    case Errc::no_such_object: return "no_such_object";
+    case Errc::access_denied: return "access_denied";
+    case Errc::malformed: return "malformed";
+    case Errc::out_of_range: return "out_of_range";
+    case Errc::conflict: return "conflict";
+    case Errc::unsupported: return "unsupported";
+    case Errc::resource_limit: return "resource_limit";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace collabqos

@@ -1,0 +1,209 @@
+// ASN.1 BER codec: known byte vectors (so the wire format provably
+// matches what a real SNMP dissector expects), minimal-length rules,
+// and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include "collabqos/snmp/ber.hpp"
+#include "collabqos/snmp/pdu.hpp"
+
+namespace collabqos::snmp {
+namespace {
+
+using serde::Bytes;
+
+Bytes encode_integer(std::int64_t v) {
+  serde::Writer w;
+  ber::write_integer(w, v);
+  return std::move(w).take();
+}
+
+Bytes encode_unsigned(std::uint8_t tag, std::uint64_t v) {
+  serde::Writer w;
+  ber::write_unsigned(w, tag, v);
+  return std::move(w).take();
+}
+
+TEST(Ber, IntegerMinimalEncodings) {
+  EXPECT_EQ(encode_integer(0), (Bytes{0x02, 0x01, 0x00}));
+  EXPECT_EQ(encode_integer(127), (Bytes{0x02, 0x01, 0x7F}));
+  EXPECT_EQ(encode_integer(128), (Bytes{0x02, 0x02, 0x00, 0x80}));
+  EXPECT_EQ(encode_integer(256), (Bytes{0x02, 0x02, 0x01, 0x00}));
+  EXPECT_EQ(encode_integer(-1), (Bytes{0x02, 0x01, 0xFF}));
+  EXPECT_EQ(encode_integer(-128), (Bytes{0x02, 0x01, 0x80}));
+  EXPECT_EQ(encode_integer(-129), (Bytes{0x02, 0x02, 0xFF, 0x7F}));
+}
+
+TEST(Ber, IntegerRoundTripExtremes) {
+  const std::int64_t extremes[] = {INT64_MIN,     INT64_MIN + 1,
+                                   -1000000007LL, 0,
+                                   42,            INT64_MAX};
+  for (const std::int64_t v : extremes) {
+    const Bytes bytes = encode_integer(v);
+    ber::Reader r(bytes);
+    auto tlv = r.expect(ber::tags::kInteger);
+    ASSERT_TRUE(tlv.ok());
+    EXPECT_EQ(ber::read_integer(tlv.value().content).value(), v);
+  }
+}
+
+TEST(Ber, UnsignedSignProtection) {
+  // 255 needs a 0x00 prefix so it is not read as negative.
+  EXPECT_EQ(encode_unsigned(ber::tags::kGauge32, 255),
+            (Bytes{0x42, 0x02, 0x00, 0xFF}));
+  EXPECT_EQ(encode_unsigned(ber::tags::kGauge32, 0),
+            (Bytes{0x42, 0x01, 0x00}));
+  EXPECT_EQ(encode_unsigned(ber::tags::kCounter64, UINT64_MAX),
+            (Bytes{0x46, 0x09, 0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                   0xFF, 0xFF}));
+}
+
+TEST(Ber, UnsignedRoundTrip) {
+  const std::uint64_t cases[] = {0,     127,        128,
+                                 65535, 4294967295, UINT64_MAX};
+  for (const std::uint64_t v : cases) {
+    const Bytes bytes = encode_unsigned(ber::tags::kCounter64, v);
+    ber::Reader r(bytes);
+    auto tlv = r.expect(ber::tags::kCounter64);
+    ASSERT_TRUE(tlv.ok());
+    EXPECT_EQ(ber::read_unsigned(tlv.value().content).value(), v);
+  }
+}
+
+TEST(Ber, OidKnownVector) {
+  // The classic example: 1.3.6.1.2.1.1.1.0 -> 2B 06 01 02 01 01 01 00.
+  serde::Writer w;
+  ASSERT_TRUE(ber::write_oid(w, Oid{1, 3, 6, 1, 2, 1, 1, 1, 0}).ok());
+  EXPECT_EQ(w.bytes(), (Bytes{0x06, 0x08, 0x2B, 0x06, 0x01, 0x02, 0x01,
+                              0x01, 0x01, 0x00}));
+}
+
+TEST(Ber, OidMultiByteArc) {
+  // enterprise arc 26510 = 0x81 0xCF 0x0E in base-128.
+  serde::Writer w;
+  ASSERT_TRUE(ber::write_oid(w, Oid{1, 3, 6, 1, 4, 1, 26510}).ok());
+  EXPECT_EQ(w.bytes(), (Bytes{0x06, 0x08, 0x2B, 0x06, 0x01, 0x04, 0x01,
+                              0x81, 0xCF, 0x0E}));
+  ber::Reader r(w.bytes());
+  auto tlv = r.expect(ber::tags::kOid);
+  ASSERT_TRUE(tlv.ok());
+  EXPECT_EQ(ber::read_oid(tlv.value().content).value(),
+            (Oid{1, 3, 6, 1, 4, 1, 26510}));
+}
+
+TEST(Ber, OidRejectsUnencodableRoots) {
+  serde::Writer w;
+  EXPECT_FALSE(ber::write_oid(w, Oid{9, 9}).ok());  // arcs[0] > 2
+  EXPECT_FALSE(ber::write_oid(w, Oid{1}).ok());     // fewer than 2 arcs
+  EXPECT_FALSE(ber::write_oid(w, Oid{1, 40}).ok()); // arcs[1] > 39
+}
+
+TEST(Ber, LongFormLength) {
+  const Bytes content(200, 0xAA);
+  serde::Writer w;
+  ber::write_tlv(w, ber::tags::kOctetString, content);
+  ASSERT_GE(w.size(), 3u);
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[1], 0x81);  // long form, 1 length octet
+  EXPECT_EQ(w.bytes()[2], 200);
+  ber::Reader r(w.bytes());
+  auto tlv = r.next();
+  ASSERT_TRUE(tlv.ok());
+  EXPECT_EQ(tlv.value().content.size(), 200u);
+}
+
+TEST(Ber, TwoByteLongFormLength) {
+  const Bytes content(1000, 0x11);
+  serde::Writer w;
+  ber::write_tlv(w, ber::tags::kSequence, content);
+  EXPECT_EQ(w.bytes()[1], 0x82);
+  EXPECT_EQ(w.bytes()[2], 0x03);
+  EXPECT_EQ(w.bytes()[3], 0xE8);
+}
+
+TEST(Ber, MalformedInputsRejected) {
+  // Truncated length.
+  {
+    const Bytes bytes = {0x02};
+    ber::Reader r(bytes);
+    EXPECT_FALSE(r.next().ok());
+  }
+  // Indefinite length (0x80) unsupported.
+  {
+    const Bytes bytes = {0x30, 0x80, 0x00, 0x00};
+    ber::Reader r(bytes);
+    EXPECT_FALSE(r.next().ok());
+  }
+  // Content longer than input.
+  {
+    const Bytes bytes = {0x04, 0x05, 0x01};
+    ber::Reader r(bytes);
+    EXPECT_FALSE(r.next().ok());
+  }
+  // Oversized integer content.
+  {
+    const Bytes content(9, 0x01);
+    EXPECT_FALSE(ber::read_integer(content).ok());
+  }
+  // Truncated multi-byte OID arc.
+  {
+    const Bytes content = {0x2B, 0x81};
+    EXPECT_FALSE(ber::read_oid(content).ok());
+  }
+}
+
+TEST(Ber, WholeMessageKnownVector) {
+  // GET sysDescr.0, community "public", request-id 0x1234: the exact
+  // bytes a textbook SNMPv2c encoder produces.
+  Pdu pdu;
+  pdu.type = PduType::get;
+  pdu.community = "public";
+  pdu.request_id = 0x1234;
+  pdu.bindings.resize(1);
+  pdu.bindings[0].oid = Oid{1, 3, 6, 1, 2, 1, 1, 1, 0};
+
+  const Bytes expected = {
+      0x30, 0x27,                                      // message SEQUENCE
+      0x02, 0x01, 0x01,                                // version = 1 (v2c)
+      0x04, 0x06, 'p',  'u',  'b',  'l',  'i',  'c',   // community
+      0xA0, 0x1A,                                      // GetRequest-PDU
+      0x02, 0x02, 0x12, 0x34,                          // request-id
+      0x02, 0x01, 0x00,                                // error-status
+      0x02, 0x01, 0x00,                                // error-index
+      0x30, 0x0E,                                      // varbind list
+      0x30, 0x0C,                                      // varbind
+      0x06, 0x08, 0x2B, 0x06, 0x01, 0x02, 0x01, 0x01, 0x01, 0x00,
+      0x05, 0x00,                                      // NULL value
+  };
+  EXPECT_EQ(pdu.encode(), expected);
+
+  auto decoded = Pdu::decode(expected);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().type, PduType::get);
+  EXPECT_EQ(decoded.value().community, "public");
+  EXPECT_EQ(decoded.value().request_id, 0x1234u);
+  ASSERT_EQ(decoded.value().bindings.size(), 1u);
+  EXPECT_EQ(decoded.value().bindings[0].oid,
+            (Oid{1, 3, 6, 1, 2, 1, 1, 1, 0}));
+  EXPECT_EQ(decoded.value().bindings[0].value.type(), ValueType::null);
+}
+
+TEST(Ber, WrongVersionRejected) {
+  // Hand-build a v1 (version 0) message.
+  serde::Writer inner;
+  ber::write_integer(inner, 0);  // version 0 = SNMPv1
+  ber::write_octet_string(inner, "public");
+  serde::Writer pdu_content;
+  ber::write_integer(pdu_content, 1);
+  ber::write_integer(pdu_content, 0);
+  ber::write_integer(pdu_content, 0);
+  ber::write_tlv(pdu_content, ber::tags::kSequence, {});
+  ber::write_tlv(inner, ber::tags::kGetRequest, pdu_content.bytes());
+  serde::Writer message;
+  ber::write_tlv(message, ber::tags::kSequence, inner.bytes());
+  auto decoded = Pdu::decode(message.bytes());
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.code(), Errc::unsupported);
+}
+
+}  // namespace
+}  // namespace collabqos::snmp

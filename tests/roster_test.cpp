@@ -1,0 +1,168 @@
+// The global-naming baseline substrate: behaviour and the staleness
+// pathologies the semantic substrate exists to remove.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "collabqos/pubsub/roster.hpp"
+
+namespace collabqos::pubsub::baseline {
+namespace {
+
+class RosterTest : public ::testing::Test {
+ protected:
+  RosterTest() {
+    server_node_ = network_.add_node("naming-server");
+    server_ = std::make_unique<NamingServer>(network_, server_node_);
+  }
+
+  std::unique_ptr<NamedClient> make_client(const std::string& name) {
+    return std::make_unique<NamedClient>(network_, network_.add_node(name),
+                                         name, server_->address());
+  }
+
+  void run_for(double seconds) {
+    sim_.run_until(sim_.now() + sim::Duration::seconds(seconds));
+  }
+
+  static AttributeSet image_content() {
+    AttributeSet content;
+    content.set("media.type", "image");
+    return content;
+  }
+
+  sim::Simulator sim_;
+  net::Network network_{sim_, 61};
+  net::NodeId server_node_{};
+  std::unique_ptr<NamingServer> server_;
+};
+
+TEST_F(RosterTest, RegistrationPropagatesRoster) {
+  auto alice = make_client("alice");
+  auto bob = make_client("bob");
+  ASSERT_TRUE(alice->register_interest(Selector::always()).ok());
+  run_for(1.0);
+  ASSERT_TRUE(bob->register_interest(Selector::always()).ok());
+  run_for(1.0);
+  EXPECT_EQ(server_->roster_size(), 2u);
+  EXPECT_EQ(alice->known_roster_size(), 2u);
+  EXPECT_EQ(bob->known_roster_size(), 2u);
+  EXPECT_GE(alice->stats().roster_updates, 1u);
+}
+
+TEST_F(RosterTest, PublishUnicastsToInterestedOnly) {
+  auto alice = make_client("alice");
+  auto bob = make_client("bob");
+  auto carol = make_client("carol");
+  ASSERT_TRUE(alice->register_interest(Selector::always()).ok());
+  ASSERT_TRUE(
+      bob->register_interest(
+             Selector::parse("media.type == 'image'").take())
+          .ok());
+  ASSERT_TRUE(
+      carol->register_interest(
+               Selector::parse("media.type == 'audio'").take())
+          .ok());
+  run_for(1.0);
+
+  int bob_got = 0, carol_got = 0;
+  bob->on_message([&](const NamedMessage&) { ++bob_got; });
+  carol->on_message([&](const NamedMessage&) { ++carol_got; });
+  ASSERT_TRUE(alice->publish(image_content(), {1, 2, 3}).ok());
+  run_for(1.0);
+  EXPECT_EQ(bob_got, 1);
+  EXPECT_EQ(carol_got, 0);
+  EXPECT_EQ(alice->stats().sent_unicasts, 1u);
+}
+
+TEST_F(RosterTest, SenderDoesNotSelfDeliver) {
+  auto alice = make_client("alice");
+  ASSERT_TRUE(alice->register_interest(Selector::always()).ok());
+  run_for(1.0);
+  int got = 0;
+  alice->on_message([&](const NamedMessage&) { ++got; });
+  ASSERT_TRUE(alice->publish(image_content(), {}).ok());
+  run_for(1.0);
+  EXPECT_EQ(got, 0);
+}
+
+TEST_F(RosterTest, UnregisteredSenderReachesNobody) {
+  auto alice = make_client("alice");  // never registers: empty roster
+  auto bob = make_client("bob");
+  ASSERT_TRUE(bob->register_interest(Selector::always()).ok());
+  run_for(1.0);
+  int got = 0;
+  bob->on_message([&](const NamedMessage&) { ++got; });
+  // Alice has no roster copy (updates go to registered members only).
+  ASSERT_TRUE(alice->publish(image_content(), {}).ok());
+  run_for(1.0);
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(alice->stats().sent_unicasts, 0u);
+}
+
+TEST_F(RosterTest, StalenessWindowMisroutesAfterInterestChange) {
+  // The pathology §3 describes: Bob flips interests, but until the
+  // roster resynchronizes Alice still filters against the OLD interest.
+  net::LinkParams slow;
+  slow.base_latency = sim::Duration::millis(400);
+  auto alice = make_client("alice");
+  auto bob = make_client("bob");
+  ASSERT_TRUE(alice->register_interest(Selector::always()).ok());
+  ASSERT_TRUE(
+      bob->register_interest(
+             Selector::parse("media.type == 'image'").take())
+          .ok());
+  run_for(2.0);
+
+  int bob_got = 0;
+  bob->on_message([&](const NamedMessage&) { ++bob_got; });
+
+  // Bob loses interest in images; the update crawls to the server and
+  // back out over a slow link.
+  ASSERT_TRUE(network_.set_link_params(server_node_, slow).ok());
+  ASSERT_TRUE(
+      bob->register_interest(
+             Selector::parse("media.type == 'audio'").take())
+          .ok());
+  // Publish immediately: Alice's roster is stale, Bob still receives an
+  // image he no longer wants.
+  ASSERT_TRUE(alice->publish(image_content(), {}).ok());
+  run_for(0.2);
+  EXPECT_EQ(bob_got, 1);  // misrouted during the staleness window
+
+  run_for(3.0);  // roster settles
+  ASSERT_TRUE(alice->publish(image_content(), {}).ok());
+  run_for(1.0);
+  EXPECT_EQ(bob_got, 1);  // now correctly filtered
+}
+
+TEST_F(RosterTest, RosterTrafficGrowsQuadratically) {
+  // N joins cost ~N^2/2 roster pushes (each join re-broadcasts to all).
+  constexpr int kClients = 12;
+  std::vector<std::unique_ptr<NamedClient>> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.push_back(make_client("client-" + std::to_string(i)));
+    ASSERT_TRUE(clients.back()->register_interest(Selector::always()).ok());
+    run_for(0.5);
+  }
+  // Sum over joins of the membership at that join: 1+2+...+N.
+  EXPECT_EQ(server_->stats().roster_pushes,
+            static_cast<std::uint64_t>(kClients * (kClients + 1) / 2));
+  EXPECT_GT(server_->stats().roster_bytes, 1000u);
+}
+
+TEST_F(RosterTest, GarbageToServerAndClientIsIgnored) {
+  auto alice = make_client("alice");
+  ASSERT_TRUE(alice->register_interest(Selector::always()).ok());
+  run_for(1.0);
+  auto hose = network_.bind(network_.add_node("x")).take();
+  ASSERT_TRUE(hose->send(server_->address(), {0xFF, 0x01}).ok());
+  ASSERT_TRUE(hose->send(alice->address(), {0xB2, 0xFF}).ok());
+  ASSERT_TRUE(hose->send(alice->address(), {0x00}).ok());
+  run_for(1.0);
+  EXPECT_EQ(server_->roster_size(), 1u);
+  EXPECT_EQ(alice->known_roster_size(), 1u);
+}
+
+}  // namespace
+}  // namespace collabqos::pubsub::baseline

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "collabqos/serde/wire.hpp"
+#include "collabqos/util/rng.hpp"
+
+namespace collabqos::serde {
+namespace {
+
+TEST(Wire, ScalarsRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.f64(3.141592653589793);
+  w.boolean(true);
+  w.boolean(false);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8().value(), 0xAB);
+  EXPECT_EQ(r.u16().value(), 0xBEEF);
+  EXPECT_EQ(r.u32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(r.f64().value(), 3.141592653589793);
+  EXPECT_TRUE(r.boolean().value());
+  EXPECT_FALSE(r.boolean().value());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, VarintBoundaries) {
+  const std::uint64_t cases[] = {0,   1,    127,  128,   16383, 16384,
+                                 1u << 21, UINT32_MAX, UINT64_MAX};
+  for (const std::uint64_t value : cases) {
+    Writer w;
+    w.varint(value);
+    Reader r(w.bytes());
+    EXPECT_EQ(r.varint().value(), value) << value;
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(Wire, VarintSizes) {
+  Writer small;
+  small.varint(127);
+  EXPECT_EQ(small.size(), 1u);
+  Writer medium;
+  medium.varint(128);
+  EXPECT_EQ(medium.size(), 2u);
+  Writer large;
+  large.varint(UINT64_MAX);
+  EXPECT_EQ(large.size(), 10u);
+}
+
+TEST(Wire, SignedVarintRoundTrip) {
+  const std::int64_t cases[] = {0,
+                                -1,
+                                1,
+                                -64,
+                                64,
+                                INT64_MIN,
+                                INT64_MAX};
+  for (const std::int64_t value : cases) {
+    Writer w;
+    w.svarint(value);
+    Reader r(w.bytes());
+    EXPECT_EQ(r.svarint().value(), value) << value;
+  }
+}
+
+TEST(Wire, ZigZagKeepsSmallMagnitudesShort) {
+  Writer w;
+  w.svarint(-1);
+  EXPECT_EQ(w.size(), 1u);  // -1 encodes to 1
+}
+
+TEST(Wire, StringsAndBlobs) {
+  Writer w;
+  w.string("");
+  w.string("hello world");
+  const Bytes blob = {0x00, 0xFF, 0x10};
+  w.blob(blob);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.string().value(), "");
+  EXPECT_EQ(r.string().value(), "hello world");
+  EXPECT_EQ(r.blob().value(), blob);
+}
+
+TEST(Wire, TruncatedReadsFail) {
+  Writer w;
+  w.u32(1234);
+  const Bytes& full = w.bytes();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Reader r(std::span(full.data(), cut));
+    auto result = r.u32();
+    EXPECT_FALSE(result.ok()) << "cut=" << cut;
+    EXPECT_EQ(result.code(), Errc::malformed);
+  }
+}
+
+TEST(Wire, TruncatedStringFails) {
+  Writer w;
+  w.string("abcdef");
+  Bytes bytes = w.bytes();
+  bytes.resize(bytes.size() - 2);
+  Reader r(bytes);
+  EXPECT_FALSE(r.string().ok());
+}
+
+TEST(Wire, MalformedVarintOverflow) {
+  // 10 bytes of continuation followed by a large final byte overflows.
+  Bytes bytes(10, 0xFF);
+  Reader r(bytes);
+  EXPECT_FALSE(r.varint().ok());
+}
+
+TEST(Wire, BadBooleanRejected) {
+  const Bytes bytes = {2};
+  Reader r(bytes);
+  EXPECT_FALSE(r.boolean().ok());
+}
+
+TEST(Wire, SpecialDoublesSurvive) {
+  Writer w;
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::denorm_min());
+  Reader r(w.bytes());
+  EXPECT_TRUE(std::isinf(r.f64().value()));
+  const double negzero = r.f64().value();
+  EXPECT_EQ(negzero, 0.0);
+  EXPECT_TRUE(std::signbit(negzero));
+  EXPECT_EQ(r.f64().value(), std::numeric_limits<double>::denorm_min());
+}
+
+class WireFuzzRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireFuzzRoundTrip, RandomSequencesRoundTrip) {
+  Rng rng(GetParam());
+  // Build a random sequence of typed writes, then read it back.
+  Writer w;
+  std::vector<int> kinds;
+  std::vector<std::uint64_t> unsigneds;
+  std::vector<std::int64_t> signeds;
+  std::vector<std::string> strings;
+  for (int i = 0; i < 200; ++i) {
+    const int kind = static_cast<int>(rng.uniform_int(0, 2));
+    kinds.push_back(kind);
+    switch (kind) {
+      case 0: {
+        const auto v = rng();
+        unsigneds.push_back(v);
+        w.varint(v);
+        break;
+      }
+      case 1: {
+        const auto v = static_cast<std::int64_t>(rng());
+        signeds.push_back(v);
+        w.svarint(v);
+        break;
+      }
+      default: {
+        std::string s;
+        const int len = static_cast<int>(rng.uniform_int(0, 32));
+        for (int j = 0; j < len; ++j) {
+          s += static_cast<char>(rng.uniform_int(0, 255));
+        }
+        strings.push_back(s);
+        w.string(s);
+        break;
+      }
+    }
+  }
+  Reader r(w.bytes());
+  std::size_t iu = 0, is = 0, istr = 0;
+  for (const int kind : kinds) {
+    switch (kind) {
+      case 0:
+        EXPECT_EQ(r.varint().value(), unsigneds[iu++]);
+        break;
+      case 1:
+        EXPECT_EQ(r.svarint().value(), signeds[is++]);
+        break;
+      default:
+        EXPECT_EQ(r.string().value(), strings[istr++]);
+        break;
+    }
+  }
+  EXPECT_TRUE(r.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace collabqos::serde

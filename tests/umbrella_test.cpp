@@ -1,0 +1,28 @@
+// The umbrella header must compile standalone and expose the top-level
+// API surface.
+#include "collabqos/collabqos.hpp"
+
+#include <gtest/gtest.h>
+
+namespace collabqos {
+namespace {
+
+TEST(Umbrella, VersionConstants) {
+  EXPECT_EQ(kVersionMajor, 1);
+  EXPECT_GE(kVersionMinor, 0);
+  EXPECT_GE(kVersionPatch, 0);
+}
+
+TEST(Umbrella, CoreTypesAreUsable) {
+  sim::Simulator simulator;
+  net::Network network(simulator, 1);
+  core::SessionDirectory directory;
+  const auto session = directory.create("smoke", {}, {});
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session.value().name, "smoke");
+  const media::Image image = render_scene(media::make_crisis_scene(16, 16, 1));
+  EXPECT_EQ(image.width(), 16);
+}
+
+}  // namespace
+}  // namespace collabqos

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "collabqos/util/decibel.hpp"
+#include "collabqos/util/result.hpp"
+#include "collabqos/util/rng.hpp"
+#include "collabqos/util/stats.hpp"
+#include "collabqos/util/string_util.hpp"
+
+namespace collabqos {
+namespace {
+
+// ------------------------------------------------------------------ Rng
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit in 1000 draws
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequencyNearP) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.exponential(2.0));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(21);
+  Rng child = parent.split();
+  // The child stream must not replay the parent's continuation.
+  Rng parent_copy(21);
+  (void)parent_copy.split();
+  EXPECT_EQ(parent(), parent_copy());
+  EXPECT_NE(child(), parent());
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(RunningStats, SmallSeriesExact) {
+  RunningStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(v);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats stats;
+  stats.add(3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats stats;
+  stats.add(1.0);
+  stats.add(2.0);
+  stats.reset();
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+}
+
+TEST(SampleSet, ExactQuantiles) {
+  SampleSet set;
+  for (int i = 1; i <= 100; ++i) set.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(set.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(set.quantile(1.0), 100.0);
+  EXPECT_NEAR(set.median(), 50.5, 1e-12);
+  EXPECT_NEAR(set.quantile(0.25), 25.75, 1e-12);
+}
+
+TEST(SampleSet, QuantileAfterInterleavedAdds) {
+  SampleSet set;
+  set.add(3.0);
+  set.add(1.0);
+  EXPECT_DOUBLE_EQ(set.median(), 2.0);
+  set.add(2.0);  // resort required
+  EXPECT_DOUBLE_EQ(set.median(), 2.0);
+  EXPECT_DOUBLE_EQ(set.quantile(1.0), 3.0);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma ewma(0.25);
+  for (int i = 0; i < 100; ++i) ewma.add(8.0);
+  EXPECT_NEAR(ewma.value(), 8.0, 1e-9);
+}
+
+TEST(Ewma, FirstSampleSeeds) {
+  Ewma ewma(0.1);
+  EXPECT_FALSE(ewma.seeded());
+  ewma.add(5.0);
+  EXPECT_TRUE(ewma.seeded());
+  EXPECT_DOUBLE_EQ(ewma.value(), 5.0);
+}
+
+// ------------------------------------------------------------- decibels
+
+TEST(Decibel, RoundTrip) {
+  for (const double db : {-30.0, -3.0, 0.0, 3.0, 10.0, 40.0}) {
+    EXPECT_NEAR(to_db(from_db(db)), db, 1e-9);
+  }
+}
+
+TEST(Decibel, KnownValues) {
+  EXPECT_NEAR(from_db(10.0), 10.0, 1e-9);
+  EXPECT_NEAR(from_db(3.0), 2.0, 0.01);
+  EXPECT_NEAR(to_db(100.0), 20.0, 1e-9);
+}
+
+// --------------------------------------------------------------- string
+
+TEST(StringUtil, SplitPreservesEmptyFields) {
+  const auto fields = split("a..b.", '.');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(StringUtil, TrimBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtil, ParseU64Accepts) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), UINT64_MAX);
+  EXPECT_EQ(parse_u64("123"), 123u);
+}
+
+TEST(StringUtil, ParseU64Rejects) {
+  EXPECT_FALSE(parse_u64("").has_value());
+  EXPECT_FALSE(parse_u64("-1").has_value());
+  EXPECT_FALSE(parse_u64("12a").has_value());
+  EXPECT_FALSE(parse_u64("18446744073709551616").has_value());  // overflow
+}
+
+TEST(StringUtil, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(parse_double("-2e3").value(), -2000.0);
+  EXPECT_FALSE(parse_double("3.5x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+}
+
+TEST(StringUtil, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KiB");
+  EXPECT_EQ(format_bytes(3 * 1024 * 1024), "3.0 MiB");
+}
+
+TEST(StringUtil, ToLowerAndStartsWith) {
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+  EXPECT_TRUE(starts_with("collabqos", "collab"));
+  EXPECT_FALSE(starts_with("co", "collab"));
+}
+
+// --------------------------------------------------------------- result
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_EQ(ok.code(), Errc::ok);
+
+  Result<int> bad(Errc::timeout, "slow");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), Errc::timeout);
+  EXPECT_EQ(bad.error().message, "slow");
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Result, TakeMoves) {
+  Result<std::string> r(std::string("payload"));
+  const std::string taken = std::move(r).take();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), Errc::ok);
+}
+
+TEST(Status, ErrorCarriesCode) {
+  Status status(Errc::access_denied, "nope");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Errc::access_denied);
+}
+
+TEST(Errc, NamesAreStable) {
+  EXPECT_EQ(to_string(Errc::ok), "ok");
+  EXPECT_EQ(to_string(Errc::timeout), "timeout");
+  EXPECT_EQ(to_string(Errc::no_such_object), "no_such_object");
+  EXPECT_EQ(to_string(Errc::malformed), "malformed");
+}
+
+}  // namespace
+}  // namespace collabqos
