@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_naming.dir/ablation_naming.cpp.o"
+  "CMakeFiles/ablation_naming.dir/ablation_naming.cpp.o.d"
+  "ablation_naming"
+  "ablation_naming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

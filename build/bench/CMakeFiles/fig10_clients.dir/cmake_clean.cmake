@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_clients.dir/fig10_clients.cpp.o"
+  "CMakeFiles/fig10_clients.dir/fig10_clients.cpp.o.d"
+  "fig10_clients"
+  "fig10_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pagefaults.dir/fig6_pagefaults.cpp.o"
+  "CMakeFiles/fig6_pagefaults.dir/fig6_pagefaults.cpp.o.d"
+  "fig6_pagefaults"
+  "fig6_pagefaults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pagefaults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_cpuload.cpp" "bench/CMakeFiles/fig7_cpuload.dir/fig7_cpuload.cpp.o" "gcc" "bench/CMakeFiles/fig7_cpuload.dir/fig7_cpuload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/collabqos_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/collabqos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/snmp/CMakeFiles/collabqos_snmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/collabqos_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/collabqos_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/collabqos_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/collabqos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/collabqos_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/collabqos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/collabqos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

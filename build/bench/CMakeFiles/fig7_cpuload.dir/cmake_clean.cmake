@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_cpuload.dir/fig7_cpuload.cpp.o"
+  "CMakeFiles/fig7_cpuload.dir/fig7_cpuload.cpp.o.d"
+  "fig7_cpuload"
+  "fig7_cpuload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cpuload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

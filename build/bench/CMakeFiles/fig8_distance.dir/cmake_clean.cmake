@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_distance.dir/fig8_distance.cpp.o"
+  "CMakeFiles/fig8_distance.dir/fig8_distance.cpp.o.d"
+  "fig8_distance"
+  "fig8_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

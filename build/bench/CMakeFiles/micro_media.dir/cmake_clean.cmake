@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_media.dir/micro_media.cpp.o"
+  "CMakeFiles/micro_media.dir/micro_media.cpp.o.d"
+  "micro_media"
+  "micro_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

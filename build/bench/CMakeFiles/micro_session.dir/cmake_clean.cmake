@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_session.dir/micro_session.cpp.o"
+  "CMakeFiles/micro_session.dir/micro_session.cpp.o.d"
+  "micro_session"
+  "micro_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modality_thresholds.dir/modality_thresholds.cpp.o"
+  "CMakeFiles/modality_thresholds.dir/modality_thresholds.cpp.o.d"
+  "modality_thresholds"
+  "modality_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modality_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

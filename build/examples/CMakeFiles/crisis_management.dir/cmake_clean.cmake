@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisis_management.dir/crisis_management.cpp.o"
+  "CMakeFiles/crisis_management.dir/crisis_management.cpp.o.d"
+  "crisis_management"
+  "crisis_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisis_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

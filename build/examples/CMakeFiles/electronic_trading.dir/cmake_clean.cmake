@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/electronic_trading.dir/electronic_trading.cpp.o"
+  "CMakeFiles/electronic_trading.dir/electronic_trading.cpp.o.d"
+  "electronic_trading"
+  "electronic_trading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/electronic_trading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for electronic_trading.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telediagnosis.dir/telediagnosis.cpp.o"
+  "CMakeFiles/telediagnosis.dir/telediagnosis.cpp.o.d"
+  "telediagnosis"
+  "telediagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telediagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

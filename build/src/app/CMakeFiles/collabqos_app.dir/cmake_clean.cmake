@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collabqos_app.dir/chat.cpp.o"
+  "CMakeFiles/collabqos_app.dir/chat.cpp.o.d"
+  "CMakeFiles/collabqos_app.dir/floor_control.cpp.o"
+  "CMakeFiles/collabqos_app.dir/floor_control.cpp.o.d"
+  "CMakeFiles/collabqos_app.dir/image_viewer.cpp.o"
+  "CMakeFiles/collabqos_app.dir/image_viewer.cpp.o.d"
+  "CMakeFiles/collabqos_app.dir/whiteboard.cpp.o"
+  "CMakeFiles/collabqos_app.dir/whiteboard.cpp.o.d"
+  "libcollabqos_app.a"
+  "libcollabqos_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collabqos_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

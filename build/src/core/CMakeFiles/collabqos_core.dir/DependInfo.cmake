@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptation.cpp" "src/core/CMakeFiles/collabqos_core.dir/adaptation.cpp.o" "gcc" "src/core/CMakeFiles/collabqos_core.dir/adaptation.cpp.o.d"
+  "/root/repo/src/core/archive.cpp" "src/core/CMakeFiles/collabqos_core.dir/archive.cpp.o" "gcc" "src/core/CMakeFiles/collabqos_core.dir/archive.cpp.o.d"
+  "/root/repo/src/core/basestation_peer.cpp" "src/core/CMakeFiles/collabqos_core.dir/basestation_peer.cpp.o" "gcc" "src/core/CMakeFiles/collabqos_core.dir/basestation_peer.cpp.o.d"
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/collabqos_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/collabqos_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/concurrency.cpp" "src/core/CMakeFiles/collabqos_core.dir/concurrency.cpp.o" "gcc" "src/core/CMakeFiles/collabqos_core.dir/concurrency.cpp.o.d"
+  "/root/repo/src/core/contract.cpp" "src/core/CMakeFiles/collabqos_core.dir/contract.cpp.o" "gcc" "src/core/CMakeFiles/collabqos_core.dir/contract.cpp.o.d"
+  "/root/repo/src/core/inference.cpp" "src/core/CMakeFiles/collabqos_core.dir/inference.cpp.o" "gcc" "src/core/CMakeFiles/collabqos_core.dir/inference.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/collabqos_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/collabqos_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/collabqos_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/collabqos_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/state_repo.cpp" "src/core/CMakeFiles/collabqos_core.dir/state_repo.cpp.o" "gcc" "src/core/CMakeFiles/collabqos_core.dir/state_repo.cpp.o.d"
+  "/root/repo/src/core/system_state.cpp" "src/core/CMakeFiles/collabqos_core.dir/system_state.cpp.o" "gcc" "src/core/CMakeFiles/collabqos_core.dir/system_state.cpp.o.d"
+  "/root/repo/src/core/thin_client.cpp" "src/core/CMakeFiles/collabqos_core.dir/thin_client.cpp.o" "gcc" "src/core/CMakeFiles/collabqos_core.dir/thin_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/collabqos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/collabqos_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/collabqos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/collabqos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/snmp/CMakeFiles/collabqos_snmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/collabqos_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/collabqos_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/collabqos_pubsub.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

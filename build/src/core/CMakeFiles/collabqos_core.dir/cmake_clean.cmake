@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collabqos_core.dir/adaptation.cpp.o"
+  "CMakeFiles/collabqos_core.dir/adaptation.cpp.o.d"
+  "CMakeFiles/collabqos_core.dir/archive.cpp.o"
+  "CMakeFiles/collabqos_core.dir/archive.cpp.o.d"
+  "CMakeFiles/collabqos_core.dir/basestation_peer.cpp.o"
+  "CMakeFiles/collabqos_core.dir/basestation_peer.cpp.o.d"
+  "CMakeFiles/collabqos_core.dir/client.cpp.o"
+  "CMakeFiles/collabqos_core.dir/client.cpp.o.d"
+  "CMakeFiles/collabqos_core.dir/concurrency.cpp.o"
+  "CMakeFiles/collabqos_core.dir/concurrency.cpp.o.d"
+  "CMakeFiles/collabqos_core.dir/contract.cpp.o"
+  "CMakeFiles/collabqos_core.dir/contract.cpp.o.d"
+  "CMakeFiles/collabqos_core.dir/inference.cpp.o"
+  "CMakeFiles/collabqos_core.dir/inference.cpp.o.d"
+  "CMakeFiles/collabqos_core.dir/policy.cpp.o"
+  "CMakeFiles/collabqos_core.dir/policy.cpp.o.d"
+  "CMakeFiles/collabqos_core.dir/session.cpp.o"
+  "CMakeFiles/collabqos_core.dir/session.cpp.o.d"
+  "CMakeFiles/collabqos_core.dir/state_repo.cpp.o"
+  "CMakeFiles/collabqos_core.dir/state_repo.cpp.o.d"
+  "CMakeFiles/collabqos_core.dir/system_state.cpp.o"
+  "CMakeFiles/collabqos_core.dir/system_state.cpp.o.d"
+  "CMakeFiles/collabqos_core.dir/thin_client.cpp.o"
+  "CMakeFiles/collabqos_core.dir/thin_client.cpp.o.d"
+  "libcollabqos_core.a"
+  "libcollabqos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collabqos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/bitio.cpp" "src/media/CMakeFiles/collabqos_media.dir/bitio.cpp.o" "gcc" "src/media/CMakeFiles/collabqos_media.dir/bitio.cpp.o.d"
+  "/root/repo/src/media/codec.cpp" "src/media/CMakeFiles/collabqos_media.dir/codec.cpp.o" "gcc" "src/media/CMakeFiles/collabqos_media.dir/codec.cpp.o.d"
+  "/root/repo/src/media/haar.cpp" "src/media/CMakeFiles/collabqos_media.dir/haar.cpp.o" "gcc" "src/media/CMakeFiles/collabqos_media.dir/haar.cpp.o.d"
+  "/root/repo/src/media/image.cpp" "src/media/CMakeFiles/collabqos_media.dir/image.cpp.o" "gcc" "src/media/CMakeFiles/collabqos_media.dir/image.cpp.o.d"
+  "/root/repo/src/media/media_object.cpp" "src/media/CMakeFiles/collabqos_media.dir/media_object.cpp.o" "gcc" "src/media/CMakeFiles/collabqos_media.dir/media_object.cpp.o.d"
+  "/root/repo/src/media/quality.cpp" "src/media/CMakeFiles/collabqos_media.dir/quality.cpp.o" "gcc" "src/media/CMakeFiles/collabqos_media.dir/quality.cpp.o.d"
+  "/root/repo/src/media/sketch.cpp" "src/media/CMakeFiles/collabqos_media.dir/sketch.cpp.o" "gcc" "src/media/CMakeFiles/collabqos_media.dir/sketch.cpp.o.d"
+  "/root/repo/src/media/transform.cpp" "src/media/CMakeFiles/collabqos_media.dir/transform.cpp.o" "gcc" "src/media/CMakeFiles/collabqos_media.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/collabqos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/collabqos_serde.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collabqos_media.dir/bitio.cpp.o"
+  "CMakeFiles/collabqos_media.dir/bitio.cpp.o.d"
+  "CMakeFiles/collabqos_media.dir/codec.cpp.o"
+  "CMakeFiles/collabqos_media.dir/codec.cpp.o.d"
+  "CMakeFiles/collabqos_media.dir/haar.cpp.o"
+  "CMakeFiles/collabqos_media.dir/haar.cpp.o.d"
+  "CMakeFiles/collabqos_media.dir/image.cpp.o"
+  "CMakeFiles/collabqos_media.dir/image.cpp.o.d"
+  "CMakeFiles/collabqos_media.dir/media_object.cpp.o"
+  "CMakeFiles/collabqos_media.dir/media_object.cpp.o.d"
+  "CMakeFiles/collabqos_media.dir/quality.cpp.o"
+  "CMakeFiles/collabqos_media.dir/quality.cpp.o.d"
+  "CMakeFiles/collabqos_media.dir/sketch.cpp.o"
+  "CMakeFiles/collabqos_media.dir/sketch.cpp.o.d"
+  "CMakeFiles/collabqos_media.dir/transform.cpp.o"
+  "CMakeFiles/collabqos_media.dir/transform.cpp.o.d"
+  "libcollabqos_media.a"
+  "libcollabqos_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collabqos_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collabqos_net.dir/link.cpp.o"
+  "CMakeFiles/collabqos_net.dir/link.cpp.o.d"
+  "CMakeFiles/collabqos_net.dir/network.cpp.o"
+  "CMakeFiles/collabqos_net.dir/network.cpp.o.d"
+  "CMakeFiles/collabqos_net.dir/rtp.cpp.o"
+  "CMakeFiles/collabqos_net.dir/rtp.cpp.o.d"
+  "libcollabqos_net.a"
+  "libcollabqos_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collabqos_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcollabqos_net.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pubsub/attribute.cpp" "src/pubsub/CMakeFiles/collabqos_pubsub.dir/attribute.cpp.o" "gcc" "src/pubsub/CMakeFiles/collabqos_pubsub.dir/attribute.cpp.o.d"
+  "/root/repo/src/pubsub/message.cpp" "src/pubsub/CMakeFiles/collabqos_pubsub.dir/message.cpp.o" "gcc" "src/pubsub/CMakeFiles/collabqos_pubsub.dir/message.cpp.o.d"
+  "/root/repo/src/pubsub/peer.cpp" "src/pubsub/CMakeFiles/collabqos_pubsub.dir/peer.cpp.o" "gcc" "src/pubsub/CMakeFiles/collabqos_pubsub.dir/peer.cpp.o.d"
+  "/root/repo/src/pubsub/profile.cpp" "src/pubsub/CMakeFiles/collabqos_pubsub.dir/profile.cpp.o" "gcc" "src/pubsub/CMakeFiles/collabqos_pubsub.dir/profile.cpp.o.d"
+  "/root/repo/src/pubsub/roster.cpp" "src/pubsub/CMakeFiles/collabqos_pubsub.dir/roster.cpp.o" "gcc" "src/pubsub/CMakeFiles/collabqos_pubsub.dir/roster.cpp.o.d"
+  "/root/repo/src/pubsub/selector.cpp" "src/pubsub/CMakeFiles/collabqos_pubsub.dir/selector.cpp.o" "gcc" "src/pubsub/CMakeFiles/collabqos_pubsub.dir/selector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/collabqos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/collabqos_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/collabqos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/collabqos_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collabqos_pubsub.dir/attribute.cpp.o"
+  "CMakeFiles/collabqos_pubsub.dir/attribute.cpp.o.d"
+  "CMakeFiles/collabqos_pubsub.dir/message.cpp.o"
+  "CMakeFiles/collabqos_pubsub.dir/message.cpp.o.d"
+  "CMakeFiles/collabqos_pubsub.dir/peer.cpp.o"
+  "CMakeFiles/collabqos_pubsub.dir/peer.cpp.o.d"
+  "CMakeFiles/collabqos_pubsub.dir/profile.cpp.o"
+  "CMakeFiles/collabqos_pubsub.dir/profile.cpp.o.d"
+  "CMakeFiles/collabqos_pubsub.dir/roster.cpp.o"
+  "CMakeFiles/collabqos_pubsub.dir/roster.cpp.o.d"
+  "CMakeFiles/collabqos_pubsub.dir/selector.cpp.o"
+  "CMakeFiles/collabqos_pubsub.dir/selector.cpp.o.d"
+  "libcollabqos_pubsub.a"
+  "libcollabqos_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collabqos_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collabqos_serde.dir/wire.cpp.o"
+  "CMakeFiles/collabqos_serde.dir/wire.cpp.o.d"
+  "libcollabqos_serde.a"
+  "libcollabqos_serde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collabqos_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collabqos_sim.dir/host.cpp.o"
+  "CMakeFiles/collabqos_sim.dir/host.cpp.o.d"
+  "CMakeFiles/collabqos_sim.dir/load_process.cpp.o"
+  "CMakeFiles/collabqos_sim.dir/load_process.cpp.o.d"
+  "CMakeFiles/collabqos_sim.dir/simulator.cpp.o"
+  "CMakeFiles/collabqos_sim.dir/simulator.cpp.o.d"
+  "libcollabqos_sim.a"
+  "libcollabqos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collabqos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snmp/agent.cpp" "src/snmp/CMakeFiles/collabqos_snmp.dir/agent.cpp.o" "gcc" "src/snmp/CMakeFiles/collabqos_snmp.dir/agent.cpp.o.d"
+  "/root/repo/src/snmp/ber.cpp" "src/snmp/CMakeFiles/collabqos_snmp.dir/ber.cpp.o" "gcc" "src/snmp/CMakeFiles/collabqos_snmp.dir/ber.cpp.o.d"
+  "/root/repo/src/snmp/host_mib.cpp" "src/snmp/CMakeFiles/collabqos_snmp.dir/host_mib.cpp.o" "gcc" "src/snmp/CMakeFiles/collabqos_snmp.dir/host_mib.cpp.o.d"
+  "/root/repo/src/snmp/manager.cpp" "src/snmp/CMakeFiles/collabqos_snmp.dir/manager.cpp.o" "gcc" "src/snmp/CMakeFiles/collabqos_snmp.dir/manager.cpp.o.d"
+  "/root/repo/src/snmp/mib.cpp" "src/snmp/CMakeFiles/collabqos_snmp.dir/mib.cpp.o" "gcc" "src/snmp/CMakeFiles/collabqos_snmp.dir/mib.cpp.o.d"
+  "/root/repo/src/snmp/oid.cpp" "src/snmp/CMakeFiles/collabqos_snmp.dir/oid.cpp.o" "gcc" "src/snmp/CMakeFiles/collabqos_snmp.dir/oid.cpp.o.d"
+  "/root/repo/src/snmp/pdu.cpp" "src/snmp/CMakeFiles/collabqos_snmp.dir/pdu.cpp.o" "gcc" "src/snmp/CMakeFiles/collabqos_snmp.dir/pdu.cpp.o.d"
+  "/root/repo/src/snmp/value.cpp" "src/snmp/CMakeFiles/collabqos_snmp.dir/value.cpp.o" "gcc" "src/snmp/CMakeFiles/collabqos_snmp.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/collabqos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/collabqos_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/collabqos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/collabqos_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collabqos_snmp.dir/agent.cpp.o"
+  "CMakeFiles/collabqos_snmp.dir/agent.cpp.o.d"
+  "CMakeFiles/collabqos_snmp.dir/ber.cpp.o"
+  "CMakeFiles/collabqos_snmp.dir/ber.cpp.o.d"
+  "CMakeFiles/collabqos_snmp.dir/host_mib.cpp.o"
+  "CMakeFiles/collabqos_snmp.dir/host_mib.cpp.o.d"
+  "CMakeFiles/collabqos_snmp.dir/manager.cpp.o"
+  "CMakeFiles/collabqos_snmp.dir/manager.cpp.o.d"
+  "CMakeFiles/collabqos_snmp.dir/mib.cpp.o"
+  "CMakeFiles/collabqos_snmp.dir/mib.cpp.o.d"
+  "CMakeFiles/collabqos_snmp.dir/oid.cpp.o"
+  "CMakeFiles/collabqos_snmp.dir/oid.cpp.o.d"
+  "CMakeFiles/collabqos_snmp.dir/pdu.cpp.o"
+  "CMakeFiles/collabqos_snmp.dir/pdu.cpp.o.d"
+  "CMakeFiles/collabqos_snmp.dir/value.cpp.o"
+  "CMakeFiles/collabqos_snmp.dir/value.cpp.o.d"
+  "libcollabqos_snmp.a"
+  "libcollabqos_snmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collabqos_snmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

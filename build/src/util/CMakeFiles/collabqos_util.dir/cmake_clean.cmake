@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collabqos_util.dir/logging.cpp.o"
+  "CMakeFiles/collabqos_util.dir/logging.cpp.o.d"
+  "CMakeFiles/collabqos_util.dir/result.cpp.o"
+  "CMakeFiles/collabqos_util.dir/result.cpp.o.d"
+  "CMakeFiles/collabqos_util.dir/rng.cpp.o"
+  "CMakeFiles/collabqos_util.dir/rng.cpp.o.d"
+  "CMakeFiles/collabqos_util.dir/stats.cpp.o"
+  "CMakeFiles/collabqos_util.dir/stats.cpp.o.d"
+  "CMakeFiles/collabqos_util.dir/string_util.cpp.o"
+  "CMakeFiles/collabqos_util.dir/string_util.cpp.o.d"
+  "libcollabqos_util.a"
+  "libcollabqos_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collabqos_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collabqos_wireless.dir/basestation.cpp.o"
+  "CMakeFiles/collabqos_wireless.dir/basestation.cpp.o.d"
+  "CMakeFiles/collabqos_wireless.dir/channel.cpp.o"
+  "CMakeFiles/collabqos_wireless.dir/channel.cpp.o.d"
+  "libcollabqos_wireless.a"
+  "libcollabqos_wireless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collabqos_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

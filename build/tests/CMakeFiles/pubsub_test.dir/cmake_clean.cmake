@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_test.dir/pubsub_test.cpp.o"
+  "CMakeFiles/pubsub_test.dir/pubsub_test.cpp.o.d"
+  "pubsub_test"
+  "pubsub_test.pdb"
+  "pubsub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

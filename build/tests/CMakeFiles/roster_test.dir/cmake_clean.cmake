@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roster_test.dir/roster_test.cpp.o"
+  "CMakeFiles/roster_test.dir/roster_test.cpp.o.d"
+  "roster_test"
+  "roster_test.pdb"
+  "roster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_test.dir/rtp_test.cpp.o"
+  "CMakeFiles/rtp_test.dir/rtp_test.cpp.o.d"
+  "rtp_test"
+  "rtp_test.pdb"
+  "rtp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

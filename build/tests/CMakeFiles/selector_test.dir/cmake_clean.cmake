@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selector_test.dir/selector_test.cpp.o"
+  "CMakeFiles/selector_test.dir/selector_test.cpp.o.d"
+  "selector_test"
+  "selector_test.pdb"
+  "selector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

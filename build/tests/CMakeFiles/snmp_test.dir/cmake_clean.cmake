@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snmp_test.dir/snmp_test.cpp.o"
+  "CMakeFiles/snmp_test.dir/snmp_test.cpp.o.d"
+  "snmp_test"
+  "snmp_test.pdb"
+  "snmp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

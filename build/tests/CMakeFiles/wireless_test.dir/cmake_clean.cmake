@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wireless_test.dir/wireless_test.cpp.o"
+  "CMakeFiles/wireless_test.dir/wireless_test.cpp.o.d"
+  "wireless_test"
+  "wireless_test.pdb"
+  "wireless_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wireless_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
