@@ -25,7 +25,9 @@ struct Datagram {
   Address destination;      ///< the receiver's own bound address
   bool via_multicast = false;
   GroupId group{};          ///< valid when via_multicast
-  serde::Bytes payload;
+  /// Shared with the sender and every other receiver of the same
+  /// transmission — one encode, one buffer, N deliveries.
+  serde::SharedBytes payload;
 };
 
 using ReceiveHandler = std::function<void(const Datagram&)>;
@@ -45,12 +47,20 @@ class Endpoint {
   /// Install the receive callback (replaces any previous one).
   void on_receive(ReceiveHandler handler);
 
-  /// Unreliable unicast send.
-  Status send(Address destination, serde::Bytes payload);
+  /// Unreliable unicast send. The buffer is shared into the delivery
+  /// path, never copied.
+  Status send(Address destination, serde::SharedBytes payload);
+  Status send(Address destination, serde::Bytes payload) {
+    return send(destination, serde::SharedBytes(std::move(payload)));
+  }
 
   /// Unreliable multicast send to every current member of `group`
-  /// (including the sender itself if joined and loopback enabled).
-  Status send_multicast(GroupId group, serde::Bytes payload);
+  /// (including the sender itself if joined and loopback enabled). All
+  /// members receive the same shared buffer.
+  Status send_multicast(GroupId group, serde::SharedBytes payload);
+  Status send_multicast(GroupId group, serde::Bytes payload) {
+    return send_multicast(group, serde::SharedBytes(std::move(payload)));
+  }
 
   Status join(GroupId group);
   Status leave(GroupId group);
@@ -130,15 +140,16 @@ class Network {
     NodeStats stats;
   };
 
-  Status send_unicast(Endpoint& from, Address to, serde::Bytes payload);
-  Status send_multicast(Endpoint& from, GroupId group, serde::Bytes payload);
+  Status send_unicast(Endpoint& from, Address to, serde::SharedBytes payload);
+  Status send_multicast(Endpoint& from, GroupId group,
+                        serde::SharedBytes payload);
   void unbind(Endpoint& endpoint);
   void join_group(Endpoint& endpoint, GroupId group);
   void leave_group(Endpoint& endpoint, GroupId group);
   /// Evaluate uplink at the source and downlink at each destination; on
   /// survival, schedule delivery.
   void route(Address source, Address destination, bool via_multicast,
-             GroupId group, const serde::Bytes& payload,
+             GroupId group, const serde::SharedBytes& payload,
              sim::Duration uplink_delay);
 
   sim::Simulator& simulator_;

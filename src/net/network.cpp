@@ -27,11 +27,11 @@ void Endpoint::on_receive(ReceiveHandler handler) {
   handler_ = std::move(handler);
 }
 
-Status Endpoint::send(Address destination, serde::Bytes payload) {
+Status Endpoint::send(Address destination, serde::SharedBytes payload) {
   return network_->send_unicast(*this, destination, std::move(payload));
 }
 
-Status Endpoint::send_multicast(GroupId group, serde::Bytes payload) {
+Status Endpoint::send_multicast(GroupId group, serde::SharedBytes payload) {
   return network_->send_multicast(*this, group, std::move(payload));
 }
 
@@ -164,7 +164,7 @@ void Network::leave_group(Endpoint& endpoint, GroupId group) {
 }
 
 Status Network::send_unicast(Endpoint& from, Address to,
-                             serde::Bytes payload) {
+                             serde::SharedBytes payload) {
   if (payload.size() > kMaxDatagram) {
     return Status(Errc::out_of_range, "datagram exceeds maximum size");
   }
@@ -183,7 +183,7 @@ Status Network::send_unicast(Endpoint& from, Address to,
 }
 
 Status Network::send_multicast(Endpoint& from, GroupId group,
-                               serde::Bytes payload) {
+                               serde::SharedBytes payload) {
   if (payload.size() > kMaxDatagram) {
     return Status(Errc::out_of_range, "datagram exceeds maximum size");
   }
@@ -209,7 +209,7 @@ Status Network::send_multicast(Endpoint& from, GroupId group,
 }
 
 void Network::route(Address source, Address destination, bool via_multicast,
-                    GroupId group, const serde::Bytes& payload,
+                    GroupId group, const serde::SharedBytes& payload,
                     sim::Duration uplink_delay) {
   const auto node_it = nodes_.find(raw(destination.node));
   if (node_it == nodes_.end()) {

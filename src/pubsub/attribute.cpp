@@ -1,5 +1,6 @@
 #include "collabqos/pubsub/attribute.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -102,30 +103,72 @@ Result<AttributeValue> AttributeValue::decode(serde::Reader& r) {
   return Error{Errc::malformed, "unknown attribute value tag"};
 }
 
-void AttributeSet::set(std::string key, AttributeValue value) {
-  values_.insert_or_assign(std::move(key), std::move(value));
+namespace {
+// lower_bound by interned id over the sorted entry vector.
+auto entry_bound(std::vector<AttributeSet::Entry>& values, Symbol key) {
+  return std::lower_bound(
+      values.begin(), values.end(), key,
+      [](const AttributeSet::Entry& e, Symbol k) { return e.key < k; });
+}
+auto entry_bound(const std::vector<AttributeSet::Entry>& values,
+                 Symbol key) {
+  return std::lower_bound(
+      values.begin(), values.end(), key,
+      [](const AttributeSet::Entry& e, Symbol k) { return e.key < k; });
+}
+}  // namespace
+
+void AttributeSet::set(Symbol key, AttributeValue value) {
+  const auto it = entry_bound(values_, key);
+  if (it != values_.end() && it->key == key) {
+    it->value = std::move(value);
+  } else {
+    values_.insert(it, Entry{key, std::move(value)});
+  }
 }
 
-bool AttributeSet::erase(const std::string& key) {
-  return values_.erase(key) > 0;
+bool AttributeSet::erase(Symbol key) {
+  const auto it = entry_bound(values_, key);
+  if (it == values_.end() || !(it->key == key)) return false;
+  values_.erase(it);
+  return true;
+}
+
+bool AttributeSet::erase(std::string_view key) {
+  const auto symbol = Symbol::lookup(key);
+  return symbol.has_value() && erase(*symbol);
+}
+
+const AttributeValue* AttributeSet::find(Symbol key) const {
+  const auto it = entry_bound(values_, key);
+  return it != values_.end() && it->key == key ? &it->value : nullptr;
 }
 
 const AttributeValue* AttributeSet::find(std::string_view key) const {
-  const auto it = values_.find(key);
-  return it == values_.end() ? nullptr : &it->second;
+  const auto symbol = Symbol::lookup(key);
+  return symbol ? find(*symbol) : nullptr;
 }
 
 void AttributeSet::merge(const AttributeSet& overlay) {
-  for (const auto& [key, value] : overlay) {
-    values_.insert_or_assign(key, value);
+  for (const Entry& entry : overlay.values_) {
+    set(entry.key, entry.value);
   }
 }
 
 void AttributeSet::encode(serde::Writer& w) const {
+  // The wire format carries names in lexicographic order (the order the
+  // pre-interning std::map emitted), independent of process-local
+  // interning history — so fingerprints of the same logical set agree
+  // across senders.
   w.varint(values_.size());
-  for (const auto& [key, value] : values_) {
-    w.string(key);
-    value.encode(w);
+  std::vector<const Entry*> order;
+  order.reserve(values_.size());
+  for (const Entry& entry : values_) order.push_back(&entry);
+  std::sort(order.begin(), order.end(),
+            [](const Entry* a, const Entry* b) { return a->name() < b->name(); });
+  for (const Entry* entry : order) {
+    w.string(entry->name());
+    entry->value.encode(w);
   }
 }
 

@@ -5,12 +5,13 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <variant>
+#include <vector>
 
+#include "collabqos/pubsub/symbol.hpp"
 #include "collabqos/serde/wire.hpp"
 #include "collabqos/util/result.hpp"
 
@@ -61,13 +62,37 @@ class AttributeValue {
   std::variant<bool, std::int64_t, double, std::string> data_;
 };
 
-/// Ordered attribute map. Keys are dotted identifiers
-/// ("capability.video.color", "interest.topic").
+/// Attribute map. Keys are dotted identifiers ("capability.video.color",
+/// "interest.topic"), interned process-wide; storage is a flat vector
+/// sorted by interned id, so the selector VM resolves an attribute with
+/// one cache-friendly binary search and zero string compares.
 class AttributeSet {
  public:
-  void set(std::string key, AttributeValue value);
-  bool erase(const std::string& key);
+  struct Entry {
+    Symbol key;
+    AttributeValue value;
+
+    [[nodiscard]] const std::string& name() const { return key.name(); }
+    friend bool operator==(const Entry& a, const Entry& b) noexcept {
+      return a.key == b.key && a.value == b.value;
+    }
+  };
+
+  void set(std::string_view key, AttributeValue value) {
+    set(Symbol::intern(key), std::move(value));
+  }
+  void set(Symbol key, AttributeValue value);
+  bool erase(std::string_view key);
+  bool erase(Symbol key);
+
+  /// By-id lookup: the compiled-selector hot path.
+  [[nodiscard]] const AttributeValue* find(Symbol key) const;
+  /// By-name lookup. A name no component of this process has ever
+  /// interned cannot be present, so this never grows the symbol table.
   [[nodiscard]] const AttributeValue* find(std::string_view key) const;
+  [[nodiscard]] bool contains(Symbol key) const {
+    return find(key) != nullptr;
+  }
   [[nodiscard]] bool contains(std::string_view key) const {
     return find(key) != nullptr;
   }
@@ -89,7 +114,7 @@ class AttributeSet {
   }
 
  private:
-  std::map<std::string, AttributeValue, std::less<>> values_;
+  std::vector<Entry> values_;  ///< sorted by key id
 };
 
 }  // namespace collabqos::pubsub

@@ -15,6 +15,8 @@
 
 namespace collabqos::pubsub {
 
+class SelectorCache;
+
 struct SemanticMessage {
   /// Who may receive: evaluated against each receiver's profile
   /// attributes. Defaults to "everyone".
@@ -33,6 +35,10 @@ struct SemanticMessage {
   [[nodiscard]] serde::Bytes encode() const;
   [[nodiscard]] static Result<SemanticMessage> decode(
       std::span<const std::uint8_t> bytes);
+  /// As above, but the selector decode is served through `cache` —
+  /// steady-state streams skip the selector decode + compile entirely.
+  [[nodiscard]] static Result<SemanticMessage> decode(
+      std::span<const std::uint8_t> bytes, SelectorCache& cache);
 };
 
 /// Receiver-side semantic interpretation outcome (Figure 3).

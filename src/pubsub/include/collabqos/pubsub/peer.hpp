@@ -21,6 +21,7 @@
 #include "collabqos/net/rtp.hpp"
 #include "collabqos/pubsub/message.hpp"
 #include "collabqos/pubsub/profile.hpp"
+#include "collabqos/pubsub/selector_cache.hpp"
 
 namespace collabqos::pubsub {
 
@@ -54,6 +55,10 @@ struct PeerOptions {
   /// pure best-effort.
   int nack_attempts = 2;
   std::size_t retransmit_buffer_packets = 2048;
+  /// Distinct selectors cached on the receive path (steady-state streams
+  /// re-send the same selector every message; a hit skips its decode and
+  /// compile). 0 disables caching.
+  std::size_t selector_cache_entries = SelectorCache::kDefaultCapacity;
 };
 
 class SemanticPeer {
@@ -94,6 +99,10 @@ class SemanticPeer {
   }
   [[nodiscard]] net::GroupId group() const noexcept { return group_; }
   [[nodiscard]] const PeerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const SelectorCache::Stats& selector_cache_stats()
+      const noexcept {
+    return selector_cache_.stats();
+  }
 
   /// RTCP-style receiver report for one remote sender (consumes the
   /// interval counters). The QoS layer folds these into the network
@@ -115,7 +124,7 @@ class SemanticPeer {
   /// transmission from this peer (relays of foreign messages included).
   Status transmit(const SemanticMessage& message,
                   std::uint32_t transport_timestamp,
-                  const std::function<Status(serde::Bytes)>& sink);
+                  const std::function<Status(serde::SharedBytes)>& sink);
   /// One repair/flush sweep (runs from the reassembly timer).
   void repair_tick();
   void handle_nack(const net::Datagram& datagram);
@@ -129,6 +138,7 @@ class SemanticPeer {
   Profile profile_;
   net::RtpPacketizer packetizer_;
   net::RtpReceiver receiver_;
+  SelectorCache selector_cache_;
   std::unique_ptr<sim::PeriodicTimer> flush_timer_;
   MessageHandler handler_;
   std::uint64_t next_sequence_ = 1;

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,6 +34,7 @@ namespace collabqos::pubsub {
 
 namespace detail {
 struct ExprNode;
+struct Program;
 }
 
 /// A parsed, immutable selector expression. Value semantics (shared
@@ -45,8 +47,17 @@ class Selector {
   /// Parse from source text.
   [[nodiscard]] static Result<Selector> parse(std::string_view text);
 
-  /// Evaluate against a profile/content attribute set.
+  /// Evaluate against a profile/content attribute set. Runs the
+  /// compiled program: a flat jump-threaded instruction vector built at
+  /// construction — no recursion, no allocation, attributes resolved by
+  /// interned id.
   [[nodiscard]] bool matches(const AttributeSet& attributes) const;
+
+  /// Reference evaluator: the recursive AST walk the compiled program
+  /// replaced. Kept (and exercised by the property suite) as the
+  /// semantics oracle for `matches`, and by the matching bench as the
+  /// seed baseline.
+  [[nodiscard]] bool interpret(const AttributeSet& attributes) const;
 
   /// Canonical text form; parse(to_string()) reproduces the selector.
   [[nodiscard]] std::string to_string() const;
@@ -69,7 +80,15 @@ class Selector {
 
  private:
   explicit Selector(std::shared_ptr<const detail::ExprNode> root);
-  std::shared_ptr<const detail::ExprNode> root_;
+  std::shared_ptr<const detail::ExprNode> root_;     ///< parse/print/codec
+  std::shared_ptr<const detail::Program> program_;   ///< match fast path
 };
+
+/// Length in bytes of the selector encoding at the front of `data`,
+/// computed by a structural scan that allocates nothing — the receive
+/// path uses it to fingerprint a selector's wire bytes without decoding
+/// them. Errors on truncated or structurally invalid input.
+[[nodiscard]] Result<std::size_t> encoded_selector_length(
+    std::span<const std::uint8_t> data);
 
 }  // namespace collabqos::pubsub

@@ -1,0 +1,71 @@
+// Receiver-side selector decode cache. Steady-state streams re-send the
+// same selector with every message (paper §3: the selector rides on each
+// message, not on a subscription); decoding and compiling it per message
+// dominates the receive path. The cache fingerprints the selector's wire
+// bytes in place — no allocation, no decode — and on a hit returns the
+// previously compiled Selector, skipping the reader past the bytes.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "collabqos/pubsub/selector.hpp"
+#include "collabqos/serde/wire.hpp"
+#include "collabqos/util/result.hpp"
+
+namespace collabqos::pubsub {
+
+/// Bounded LRU map from selector-encoding fingerprint to compiled
+/// Selector. Fingerprints can collide; every hit is confirmed by a byte
+/// compare against the stored encoding, so a collision degrades to a
+/// fresh decode (counted in stats), never a wrong selector.
+class SelectorCache {
+ public:
+  /// Fingerprint function over the selector's encoded bytes. Injectable
+  /// so tests can force collisions with a constant hash.
+  using HashFn = std::uint64_t (*)(std::span<const std::uint8_t>);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t collisions = 0;  ///< same fingerprint, different bytes
+    std::uint64_t evictions = 0;
+  };
+
+  static constexpr std::size_t kDefaultCapacity = 128;
+
+  explicit SelectorCache(std::size_t capacity = kDefaultCapacity,
+                         HashFn hash = &fingerprint)
+      : capacity_(capacity), hash_(hash) {}
+
+  /// Decode the selector at the reader's cursor. On a cache hit the
+  /// reader skips the encoded bytes without decoding them; on a miss it
+  /// decodes normally and the result is cached. Identical in observable
+  /// effect to Selector::decode(r).
+  [[nodiscard]] Result<Selector> decode(serde::Reader& r);
+
+  /// FNV-1a (64-bit) — the default HashFn.
+  static std::uint64_t fingerprint(std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::vector<std::uint8_t> bytes;  ///< exact encoding: collision guard
+    Selector selector;
+  };
+
+  std::size_t capacity_;
+  HashFn hash_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> entries_;
+  Stats stats_;
+};
+
+}  // namespace collabqos::pubsub

@@ -1,5 +1,7 @@
 #include "collabqos/pubsub/message.hpp"
 
+#include "collabqos/pubsub/selector_cache.hpp"
+
 namespace collabqos::pubsub {
 
 namespace {
@@ -7,7 +9,10 @@ constexpr std::uint8_t kMessageMagic = 0xE5;
 }
 
 serde::Bytes SemanticMessage::encode() const {
-  serde::Writer w(payload.size() + 128);
+  serde::Writer w;
+  // magic + selector + content + varints rarely exceed this; the point
+  // is to land the common case in a single allocation.
+  w.reserve(payload.size() + event_type.size() + 160);
   w.u8(kMessageMagic);
   selector.encode(w);
   content.encode(w);
@@ -18,8 +23,10 @@ serde::Bytes SemanticMessage::encode() const {
   return std::move(w).take();
 }
 
-Result<SemanticMessage> SemanticMessage::decode(
-    std::span<const std::uint8_t> bytes) {
+namespace {
+
+Result<SemanticMessage> decode_message(std::span<const std::uint8_t> bytes,
+                                       SelectorCache* cache) {
   serde::Reader r(bytes);
   auto magic = r.u8();
   if (!magic) return magic.error();
@@ -27,7 +34,7 @@ Result<SemanticMessage> SemanticMessage::decode(
     return Error{Errc::malformed, "not a semantic message"};
   }
   SemanticMessage message;
-  auto selector = Selector::decode(r);
+  auto selector = cache ? cache->decode(r) : Selector::decode(r);
   if (!selector) return selector.error();
   message.selector = std::move(selector).take();
   auto content = AttributeSet::decode(r);
@@ -49,6 +56,18 @@ Result<SemanticMessage> SemanticMessage::decode(
     return Error{Errc::malformed, "trailing bytes after message"};
   }
   return message;
+}
+
+}  // namespace
+
+Result<SemanticMessage> SemanticMessage::decode(
+    std::span<const std::uint8_t> bytes) {
+  return decode_message(bytes, nullptr);
+}
+
+Result<SemanticMessage> SemanticMessage::decode(
+    std::span<const std::uint8_t> bytes, SelectorCache& cache) {
+  return decode_message(bytes, &cache);
 }
 
 MatchDecision match(const Profile& profile, const SemanticMessage& message) {

@@ -31,7 +31,8 @@ SemanticPeer::SemanticPeer(net::Network& network, net::NodeId node,
       peer_id_(peer_id),
       options_(options),
       packetizer_(static_cast<std::uint32_t>(peer_id), options.mtu_payload),
-      receiver_(options.reassembly_flush) {
+      receiver_(options.reassembly_flush),
+      selector_cache_(options.selector_cache_entries) {
   auto endpoint = network.bind(node, options.port);
   if (!endpoint) {
     throw std::runtime_error("SemanticPeer: cannot bind: " +
@@ -61,7 +62,7 @@ SemanticPeer::~SemanticPeer() = default;
 
 Status SemanticPeer::transmit(
     const SemanticMessage& message, std::uint32_t transport_timestamp,
-    const std::function<Status(serde::Bytes)>& sink) {
+    const std::function<Status(serde::SharedBytes)>& sink) {
   const serde::Bytes encoded = message.encode();
   const auto packets =
       packetizer_.packetize(encoded, kSemanticPayloadType,
@@ -80,7 +81,7 @@ Status SemanticPeer::publish(SemanticMessage message) {
   CQ_TRACE(kComponent) << "peer " << peer_id_ << " publishes "
                        << message.event_type;
   return transmit(message, static_cast<std::uint32_t>(message.sequence),
-                  [this](serde::Bytes bytes) {
+                  [this](serde::SharedBytes bytes) {
     return endpoint_->send_multicast(group_, std::move(bytes));
   });
 }
@@ -91,7 +92,7 @@ Status SemanticPeer::send_to(net::Address destination,
   message.sequence = next_sequence_++;
   ++stats_.published;
   return transmit(message, static_cast<std::uint32_t>(message.sequence),
-                  [this, destination](serde::Bytes bytes) {
+                  [this, destination](serde::SharedBytes bytes) {
                     return endpoint_->send(destination, std::move(bytes));
                   });
 }
@@ -102,7 +103,7 @@ Status SemanticPeer::relay_to(net::Address destination,
   // The transport timestamp comes from this peer's own sequence space so
   // replays of different senders' messages never collide in reassembly.
   return transmit(message, static_cast<std::uint32_t>(next_sequence_++),
-                  [this, destination](serde::Bytes bytes) {
+                  [this, destination](serde::SharedBytes bytes) {
                     return endpoint_->send(destination, std::move(bytes));
                   });
 }
@@ -213,7 +214,7 @@ void SemanticPeer::on_object(const net::RtpObject& object) {
   }
   ++stats_.received_objects;
   const serde::Bytes bytes = object.reassemble();
-  auto decoded = SemanticMessage::decode(bytes);
+  auto decoded = SemanticMessage::decode(bytes, selector_cache_);
   if (!decoded) {
     ++stats_.undecodable;
     CQ_DEBUG(kComponent) << "peer " << peer_id_

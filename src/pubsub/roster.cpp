@@ -64,9 +64,10 @@ void NamingServer::broadcast_roster() {
   w.u8(kRosterUpdate);
   w.varint(roster_.size());
   for (const auto& [name, entry] : roster_) entry.encode(w);
-  const serde::Bytes bytes = std::move(w).take();
+  const serde::SharedBytes bytes = std::move(w).take();
   // Full roster to every registered client — the synchronization cost
-  // the paper calls out grows quadratically with membership.
+  // the paper calls out grows quadratically with membership. (One encode,
+  // one buffer: each push shares it.)
   for (const auto& [name, entry] : roster_) {
     ++stats_.roster_pushes;
     stats_.roster_bytes += bytes.size();
@@ -106,7 +107,7 @@ Status NamedClient::publish(AttributeSet content, serde::Bytes payload) {
   w.string(name_);
   content.encode(w);
   w.blob(payload);
-  const serde::Bytes bytes = std::move(w).take();
+  const serde::SharedBytes bytes = std::move(w).take();
   for (const RosterEntry& entry : roster_) {
     if (entry.name == name_) continue;
     if (!entry.interest.matches(content)) continue;

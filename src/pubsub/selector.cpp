@@ -47,6 +47,37 @@ struct ExprNode {
   std::vector<AttributeValue> values;  // membership candidates
 };
 
+// The compiled form of a selector: a flat, jump-threaded instruction
+// vector plus a constant pool. Because selectors are pure boolean
+// expressions and and/or short-circuit via jumps, every subexpression
+// leaves exactly one value — so evaluation needs only an accumulator,
+// never an operand stack, and never allocates.
+struct Program {
+  enum class OpCode : std::uint8_t {
+    load_true = 0,  ///< acc = true
+    load_false,     ///< acc = false
+    load_exists,    ///< acc = attrs contains sym
+    load_eq,        ///< acc = attrs[sym] equals pool[a]
+    load_ne,        ///< acc = attrs[sym] present and not equal pool[a]
+    load_lt,        ///< numeric orderings; absent/mismatch -> false
+    load_le,
+    load_gt,
+    load_ge,
+    load_in,        ///< acc = attrs[sym] equals any of pool[a..a+b)
+    negate,         ///< acc = !acc
+    jump_if_false,  ///< short-circuit and: if (!acc) ip = a
+    jump_if_true,   ///< short-circuit or:  if (acc) ip = a
+  };
+  struct Instr {
+    OpCode op = OpCode::load_true;
+    Symbol sym;         ///< leaf attribute (load_* ops)
+    std::uint32_t a = 0;  ///< constant-pool index, or jump target
+    std::uint32_t b = 0;  ///< membership candidate count
+  };
+  std::vector<Instr> code;
+  std::vector<AttributeValue> pool;
+};
+
 namespace {
 
 using NodePtr = std::shared_ptr<const ExprNode>;
@@ -148,6 +179,164 @@ bool evaluate(const ExprNode& node, const AttributeSet& attributes) {
     }
   }
   return false;
+}
+
+// ---------------------------------------------------------- compiler/VM
+
+using OpCode = Program::OpCode;
+using Instr = Program::Instr;
+
+void compile_node(const ExprNode& node, Program& program) {
+  switch (node.kind) {
+    case ExprNode::Kind::literal_true:
+      program.code.push_back({OpCode::load_true, {}, 0, 0});
+      return;
+    case ExprNode::Kind::literal_false:
+      program.code.push_back({OpCode::load_false, {}, 0, 0});
+      return;
+    case ExprNode::Kind::logical_and:
+    case ExprNode::Kind::logical_or: {
+      compile_node(*node.lhs, program);
+      const std::size_t jump_at = program.code.size();
+      program.code.push_back({node.kind == ExprNode::Kind::logical_and
+                                  ? OpCode::jump_if_false
+                                  : OpCode::jump_if_true,
+                              {}, 0, 0});
+      compile_node(*node.rhs, program);
+      program.code[jump_at].a =
+          static_cast<std::uint32_t>(program.code.size());
+      return;
+    }
+    case ExprNode::Kind::logical_not:
+      compile_node(*node.lhs, program);
+      program.code.push_back({OpCode::negate, {}, 0, 0});
+      return;
+    case ExprNode::Kind::exists:
+      program.code.push_back(
+          {OpCode::load_exists, Symbol::intern(node.attribute), 0, 0});
+      return;
+    case ExprNode::Kind::compare: {
+      OpCode op = OpCode::load_eq;
+      switch (node.op) {
+        case Op::eq: op = OpCode::load_eq; break;
+        case Op::ne: op = OpCode::load_ne; break;
+        case Op::lt: op = OpCode::load_lt; break;
+        case Op::le: op = OpCode::load_le; break;
+        case Op::gt: op = OpCode::load_gt; break;
+        case Op::ge: op = OpCode::load_ge; break;
+      }
+      // Ordering against a non-numeric literal can never hold (the
+      // two-valued semantics make it FALSE for every attribute set),
+      // so fold it at compile time.
+      if (op != OpCode::load_eq && op != OpCode::load_ne &&
+          !node.value.is_number()) {
+        program.code.push_back({OpCode::load_false, {}, 0, 0});
+        return;
+      }
+      const auto pool = static_cast<std::uint32_t>(program.pool.size());
+      program.pool.push_back(node.value);
+      program.code.push_back(
+          {op, Symbol::intern(node.attribute), pool, 0});
+      return;
+    }
+    case ExprNode::Kind::membership: {
+      const auto pool = static_cast<std::uint32_t>(program.pool.size());
+      for (const AttributeValue& value : node.values) {
+        program.pool.push_back(value);
+      }
+      program.code.push_back(
+          {OpCode::load_in, Symbol::intern(node.attribute), pool,
+           static_cast<std::uint32_t>(node.values.size())});
+      return;
+    }
+  }
+}
+
+std::shared_ptr<const Program> compile(const ExprNode& root) {
+  auto program = std::make_shared<Program>();
+  compile_node(root, *program);
+  return program;
+}
+
+[[nodiscard]] bool run(const Program& program,
+                       const AttributeSet& attributes) {
+  const Instr* code = program.code.data();
+  const AttributeValue* pool = program.pool.data();
+  const std::size_t n = program.code.size();
+  bool acc = true;
+  std::size_t ip = 0;
+  while (ip < n) {
+    const Instr& instr = code[ip];
+    switch (instr.op) {
+      case OpCode::load_true:
+        acc = true;
+        break;
+      case OpCode::load_false:
+        acc = false;
+        break;
+      case OpCode::load_exists:
+        acc = attributes.contains(instr.sym);
+        break;
+      case OpCode::load_eq: {
+        const AttributeValue* actual = attributes.find(instr.sym);
+        acc = actual != nullptr && actual->equals(pool[instr.a]);
+        break;
+      }
+      case OpCode::load_ne: {
+        const AttributeValue* actual = attributes.find(instr.sym);
+        acc = actual != nullptr && !actual->equals(pool[instr.a]);
+        break;
+      }
+      case OpCode::load_lt:
+      case OpCode::load_le:
+      case OpCode::load_gt:
+      case OpCode::load_ge: {
+        const AttributeValue* actual = attributes.find(instr.sym);
+        acc = false;
+        if (actual != nullptr && actual->is_number()) {
+          const double a = *actual->as_number();
+          const double b = *pool[instr.a].as_number();
+          switch (instr.op) {
+            case OpCode::load_lt: acc = a < b; break;
+            case OpCode::load_le: acc = a <= b; break;
+            case OpCode::load_gt: acc = a > b; break;
+            default: acc = a >= b; break;
+          }
+        }
+        break;
+      }
+      case OpCode::load_in: {
+        const AttributeValue* actual = attributes.find(instr.sym);
+        acc = false;
+        if (actual != nullptr) {
+          for (std::uint32_t i = 0; i < instr.b; ++i) {
+            if (actual->equals(pool[instr.a + i])) {
+              acc = true;
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case OpCode::negate:
+        acc = !acc;
+        break;
+      case OpCode::jump_if_false:
+        if (!acc) {
+          ip = instr.a;
+          continue;
+        }
+        break;
+      case OpCode::jump_if_true:
+        if (acc) {
+          ip = instr.a;
+          continue;
+        }
+        break;
+    }
+    ++ip;
+  }
+  return acc;
 }
 
 void print(const ExprNode& node, std::string& out) {
@@ -626,11 +815,12 @@ Result<NodePtr> decode_node(serde::Reader& r, int depth) {
 }  // namespace
 }  // namespace detail
 
-Selector::Selector() : root_(detail::make_bool(true)) {}
+Selector::Selector() : Selector(detail::make_bool(true)) {}
 
 Selector::Selector(std::shared_ptr<const detail::ExprNode> root)
     : root_(std::move(root)) {
   assert(root_ != nullptr);
+  program_ = detail::compile(*root_);
 }
 
 Result<Selector> Selector::parse(std::string_view text) {
@@ -644,6 +834,10 @@ Result<Selector> Selector::parse(std::string_view text) {
 }
 
 bool Selector::matches(const AttributeSet& attributes) const {
+  return detail::run(*program_, attributes);
+}
+
+bool Selector::interpret(const AttributeSet& attributes) const {
   return detail::evaluate(*root_, attributes);
 }
 
@@ -693,6 +887,110 @@ Result<Selector> Selector::decode(serde::Reader& r) {
   auto root = detail::decode_node(r, 0);
   if (!root) return root.error();
   return Selector(std::move(root).take());
+}
+
+Result<std::size_t> encoded_selector_length(
+    std::span<const std::uint8_t> data) {
+  using Kind = detail::ExprNode::Kind;
+  // Breadth-agnostic structural scan: every node consumes its header
+  // and operands; children are accounted with a pending counter, so
+  // arbitrarily deep selectors scan without recursion or allocation.
+  // This runs per received message on the cache-hit fast path, so it
+  // walks raw pointers rather than the Result-returning Reader.
+  const std::uint8_t* p = data.data();
+  const std::uint8_t* const end = p + data.size();
+  const auto skip_varint = [&]() -> bool {
+    for (int i = 0; i < 10 && p < end; ++i) {
+      if ((*p++ & 0x80) == 0) return true;
+    }
+    return false;
+  };
+  const auto read_varint = [&](std::uint64_t& out) -> bool {
+    out = 0;
+    for (int i = 0; i < 10 && p < end; ++i) {
+      const std::uint8_t byte = *p++;
+      out |= static_cast<std::uint64_t>(byte & 0x7f) << (7 * i);
+      if ((byte & 0x80) == 0) return true;
+    }
+    return false;
+  };
+  const auto skip_string = [&]() -> bool {
+    std::uint64_t length = 0;
+    if (!read_varint(length)) return false;
+    if (static_cast<std::uint64_t>(end - p) < length) return false;
+    p += length;
+    return true;
+  };
+  const auto skip_value = [&]() -> bool {
+    if (p == end) return false;
+    switch (*p++) {
+      case 0:  // boolean
+        if (end - p < 1) return false;
+        p += 1;
+        return true;
+      case 1:  // svarint integer
+        return skip_varint();
+      case 2:  // f64 real
+        if (end - p < 8) return false;
+        p += 8;
+        return true;
+      case 3:  // text
+        return skip_string();
+      default:
+        return false;
+    }
+  };
+  std::uint64_t pending = 1;
+  while (pending > 0) {
+    --pending;
+    if (p == end) return Error{Errc::malformed, "truncated selector"};
+    const std::uint8_t kind = *p++;
+    if (kind > static_cast<std::uint8_t>(Kind::membership)) {
+      return Error{Errc::malformed, "unknown selector node kind"};
+    }
+    switch (static_cast<Kind>(kind)) {
+      case Kind::literal_true:
+      case Kind::literal_false:
+        break;
+      case Kind::logical_and:
+      case Kind::logical_or:
+        pending += 2;
+        break;
+      case Kind::logical_not:
+        pending += 1;
+        break;
+      case Kind::exists:
+        if (!skip_string()) {
+          return Error{Errc::malformed, "truncated selector"};
+        }
+        break;
+      case Kind::compare:
+        if (!skip_string() || p == end) {
+          return Error{Errc::malformed, "truncated selector"};
+        }
+        ++p;  // comparison op
+        if (!skip_value()) {
+          return Error{Errc::malformed, "truncated selector"};
+        }
+        break;
+      case Kind::membership: {
+        std::uint64_t count = 0;
+        if (!skip_string() || !read_varint(count)) {
+          return Error{Errc::malformed, "truncated selector"};
+        }
+        if (count == 0 || count > 256) {
+          return Error{Errc::malformed, "bad membership list size"};
+        }
+        for (std::uint64_t i = 0; i < count; ++i) {
+          if (!skip_value()) {
+            return Error{Errc::malformed, "truncated selector"};
+          }
+        }
+        break;
+      }
+    }
+  }
+  return static_cast<std::size_t>(p - data.data());
 }
 
 }  // namespace collabqos::pubsub

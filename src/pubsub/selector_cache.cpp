@@ -1,0 +1,73 @@
+#include "collabqos/pubsub/selector_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace collabqos::pubsub {
+
+std::uint64_t SelectorCache::fingerprint(std::span<const std::uint8_t> bytes) {
+  // FNV-1a over 8-byte lanes with an extra shift-xor to diffuse across
+  // lane boundaries; tail bytes go through classic byte-wise FNV. One
+  // multiply per 8 bytes keeps the fingerprint cheap on the per-message
+  // path, and collisions only cost a fallback decode, never correctness.
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = 14695981039346656037ull;
+  std::size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    std::uint64_t lane;
+    std::memcpy(&lane, bytes.data() + i, sizeof(lane));
+    h = (h ^ lane) * kPrime;
+    h ^= h >> 29;
+  }
+  for (; i < bytes.size(); ++i) h = (h ^ bytes[i]) * kPrime;
+  return h;
+}
+
+Result<Selector> SelectorCache::decode(serde::Reader& r) {
+  if (capacity_ == 0) return Selector::decode(r);
+
+  // Find the selector's byte span without decoding it. If the structural
+  // scan rejects the input, defer to the real decoder for the error.
+  const auto span = r.remaining_span();
+  const auto length = encoded_selector_length(span);
+  if (!length) return Selector::decode(r);
+  const auto bytes = span.subspan(0, length.value());
+  const std::uint64_t key = hash_(bytes);
+
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    Entry& entry = *it->second;
+    if (entry.bytes.size() == bytes.size() &&
+        std::equal(entry.bytes.begin(), entry.bytes.end(), bytes.begin())) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      if (auto skipped = r.skip(bytes.size()); !skipped) {
+        return skipped.error();
+      }
+      return entry.selector;
+    }
+    // Same fingerprint, different encoding: decode fresh and let the new
+    // selector take over the slot (newest wins).
+    ++stats_.collisions;
+    auto selector = Selector::decode(r);
+    if (!selector) return selector;
+    entry.bytes.assign(bytes.begin(), bytes.end());
+    entry.selector = selector.value();
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return selector;
+  }
+
+  ++stats_.misses;
+  auto selector = Selector::decode(r);
+  if (!selector) return selector;
+  if (entries_.size() >= capacity_) {
+    ++stats_.evictions;
+    entries_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  lru_.push_front(
+      Entry{key, {bytes.begin(), bytes.end()}, selector.value()});
+  entries_.emplace(key, lru_.begin());
+  return selector;
+}
+
+}  // namespace collabqos::pubsub

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -17,11 +18,58 @@ namespace collabqos::serde {
 
 using Bytes = std::vector<std::uint8_t>;
 
+/// An immutable, reference-counted byte buffer. One encode can fan out
+/// to many receivers (multicast delivery, roster pushes, retransmit
+/// queues) while every copy shares the same underlying storage — the
+/// per-receiver cost is a pointer bump, not a buffer duplication.
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+  /// Implicit on purpose: call sites that just encoded a buffer hand it
+  /// over by value and the wrapper takes ownership without copying.
+  SharedBytes(Bytes bytes)
+      : data_(std::make_shared<const Bytes>(std::move(bytes))) {}
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return data_ ? data_->size() : 0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] const std::uint8_t* data() const noexcept {
+    return data_ ? data_->data() : nullptr;
+  }
+  [[nodiscard]] std::uint8_t operator[](std::size_t i) const noexcept {
+    return (*data_)[i];
+  }
+  [[nodiscard]] auto begin() const noexcept { return data(); }
+  [[nodiscard]] auto end() const noexcept { return data() + size(); }
+  [[nodiscard]] std::span<const std::uint8_t> span() const noexcept {
+    return {data(), size()};
+  }
+  operator std::span<const std::uint8_t>() const noexcept { return span(); }
+
+  /// Content equality (also matches plain Bytes via span conversion).
+  friend bool operator==(const SharedBytes& a,
+                         std::span<const std::uint8_t> b) noexcept {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      if (a.data()[i] != b[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::shared_ptr<const Bytes> data_;
+};
+
 /// Append-only encoder.
 class Writer {
  public:
   Writer() = default;
   explicit Writer(std::size_t reserve) { buffer_.reserve(reserve); }
+
+  /// Capacity hint: callers that can bound the encoded size up front
+  /// (fragmentation-sized message encodes) avoid growth reallocations.
+  void reserve(std::size_t capacity) { buffer_.reserve(capacity); }
 
   void u8(std::uint8_t v);
   void u16(std::uint16_t v);
@@ -63,10 +111,21 @@ class Reader {
   [[nodiscard]] Result<std::string> string();
   [[nodiscard]] Result<Bytes> blob();
 
+  /// Advance past `n` raw bytes without materialising them.
+  Status skip(std::size_t n);
+  /// Advance past one length-prefixed string/blob without allocating.
+  Status skip_string();
+
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
   [[nodiscard]] std::size_t remaining() const noexcept {
     return data_.size() - offset_;
   }
   [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+  /// Borrowed view of the not-yet-consumed suffix.
+  [[nodiscard]] std::span<const std::uint8_t> remaining_span()
+      const noexcept {
+    return data_.subspan(offset_);
+  }
 
  private:
   [[nodiscard]] Status need(std::size_t n) const noexcept;

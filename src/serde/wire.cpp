@@ -141,6 +141,18 @@ Result<std::string> Reader::string() {
   return out;
 }
 
+Status Reader::skip(std::size_t n) {
+  if (auto s = need(n); !s) return s;
+  offset_ += n;
+  return {};
+}
+
+Status Reader::skip_string() {
+  auto len = varint();
+  if (!len) return len.error();
+  return skip(len.value());
+}
+
 Result<Bytes> Reader::blob() {
   auto len = varint();
   if (!len) return len.error();

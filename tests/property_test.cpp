@@ -22,31 +22,54 @@ class Seeded : public ::testing::TestWithParam<std::uint64_t> {};
 
 // ------------------------------------------------------ selector algebra
 
+pubsub::AttributeValue random_literal(Rng& rng) {
+  switch (rng.uniform_int(0, 2)) {
+    case 0:
+      return pubsub::AttributeValue(rng.uniform_int(-5, 5));
+    case 1:
+      return pubsub::AttributeValue(rng.chance(0.5));
+    default:
+      return pubsub::AttributeValue(
+          std::string(1, static_cast<char>('x' + rng.uniform_int(0, 2))));
+  }
+}
+
 pubsub::Selector random_selector(Rng& rng, int depth = 0) {
   using pubsub::Selector;
   const char* keys[] = {"a", "b.c", "d", "e.f.g"};
   const int kind = static_cast<int>(
-      rng.uniform_int(0, depth > 3 ? 1 : 4));  // cap recursion
+      rng.uniform_int(0, depth > 3 ? 3 : 6));  // cap recursion at leaves
   switch (kind) {
     case 0: {
-      // comparison with a random literal
       const char* key = keys[rng.uniform_int(0, 3)];
-      switch (rng.uniform_int(0, 2)) {
-        case 0:
-          return Selector::equals(key, rng.uniform_int(-5, 5));
-        case 1:
-          return Selector::equals(key, rng.chance(0.5));
-        default:
-          return Selector::equals(
-              key, std::string(1, static_cast<char>('x' + rng.uniform_int(0, 2))));
-      }
+      return Selector::equals(key, random_literal(rng));
     }
     case 1:
       return Selector::exists(keys[rng.uniform_int(0, 3)]);
-    case 2:
+    case 2: {
+      // membership over a small mixed-type candidate list
+      const char* key = keys[rng.uniform_int(0, 3)];
+      std::vector<pubsub::AttributeValue> values;
+      const int count = static_cast<int>(rng.uniform_int(1, 4));
+      for (int i = 0; i < count; ++i) values.push_back(random_literal(rng));
+      return Selector::one_of(key, std::move(values));
+    }
+    case 3: {
+      // ordering comparison via the text grammar; literals of any type,
+      // so ordering-vs-non-numeric folds get exercised too
+      const char* ops[] = {"<", "<=", ">", ">=", "!="};
+      const std::string text =
+          std::string(keys[rng.uniform_int(0, 3)]) + " " +
+          ops[rng.uniform_int(0, 4)] + " " +
+          random_literal(rng).to_literal();
+      auto parsed = Selector::parse(text);
+      EXPECT_TRUE(parsed.ok()) << text;
+      return parsed.ok() ? std::move(parsed).take() : Selector::always();
+    }
+    case 4:
       return random_selector(rng, depth + 1)
           .and_with(random_selector(rng, depth + 1));
-    case 3:
+    case 5:
       return random_selector(rng, depth + 1)
           .or_with(random_selector(rng, depth + 1));
     default:
@@ -103,6 +126,53 @@ TEST_P(Seeded, SelectorWireRoundTripPreservesSemantics) {
       EXPECT_EQ(original.matches(attrs), decoded.value().matches(attrs));
     }
   }
+}
+
+TEST_P(Seeded, CompiledProgramAgreesWithAstInterpreter) {
+  // parse → print → re-parse → compile must preserve match results: the
+  // compiled bytecode (matches) and the reference AST walk (interpret)
+  // of both the original and the reparsed selector all agree, for every
+  // randomized attribute set.
+  Rng rng(GetParam() ^ 0x99AB);
+  for (int trial = 0; trial < 40; ++trial) {
+    const pubsub::Selector original = random_selector(rng);
+    auto reparsed = pubsub::Selector::parse(original.to_string());
+    ASSERT_TRUE(reparsed.ok()) << original.to_string();
+    for (int probe = 0; probe < 20; ++probe) {
+      const pubsub::AttributeSet attrs = random_attributes(rng);
+      const bool reference = original.interpret(attrs);
+      EXPECT_EQ(original.matches(attrs), reference) << original.to_string();
+      EXPECT_EQ(reparsed.value().matches(attrs), reference)
+          << original.to_string();
+      EXPECT_EQ(reparsed.value().interpret(attrs), reference)
+          << original.to_string();
+    }
+  }
+}
+
+TEST(SelectorSemantics, TypeMismatchIsFalseInCompiledAndInterpretedPaths) {
+  // Two-valued semantics: a comparison on a missing or type-mismatched
+  // attribute is FALSE, so its negation is TRUE — in both evaluators.
+  const auto s = pubsub::Selector::parse("not (x == 3)").take();
+  pubsub::AttributeSet absent;
+  pubsub::AttributeSet mismatched;
+  mismatched.set("x", "three");
+  pubsub::AttributeSet matching;
+  matching.set("x", 3);
+  EXPECT_TRUE(s.matches(absent));
+  EXPECT_TRUE(s.interpret(absent));
+  EXPECT_TRUE(s.matches(mismatched));
+  EXPECT_TRUE(s.interpret(mismatched));
+  EXPECT_FALSE(s.matches(matching));
+  EXPECT_FALSE(s.interpret(matching));
+  // Ordering against a non-numeric literal is constant-false (the
+  // compiler folds it; the interpreter evaluates it) even when the
+  // attribute is a string that would compare lexicographically.
+  const auto folded = pubsub::Selector::parse("not (x < 'zzz')").take();
+  EXPECT_TRUE(folded.matches(mismatched));
+  EXPECT_TRUE(folded.interpret(mismatched));
+  EXPECT_TRUE(folded.matches(matching));
+  EXPECT_TRUE(folded.interpret(matching));
 }
 
 TEST_P(Seeded, SelectorNegationInvolutes) {

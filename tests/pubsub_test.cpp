@@ -6,6 +6,7 @@
 #include "collabqos/pubsub/message.hpp"
 #include "collabqos/pubsub/peer.hpp"
 #include "collabqos/pubsub/profile.hpp"
+#include "collabqos/pubsub/selector_cache.hpp"
 
 namespace collabqos::pubsub {
 namespace {
@@ -224,6 +225,141 @@ TEST(SemanticMessage, CodecRoundTrip) {
 TEST(SemanticMessage, DecodeRejectsGarbage) {
   const serde::Bytes garbage = {0x12, 0x34};
   EXPECT_FALSE(SemanticMessage::decode(garbage).ok());
+}
+
+// ------------------------------------------------------- selector cache
+
+serde::Bytes encoded_selector(const Selector& selector) {
+  serde::Writer w;
+  selector.encode(w);
+  return std::move(w).take();
+}
+
+TEST(SelectorCacheTest, SteadyStreamHitsAfterFirstDecode) {
+  SelectorCache cache;
+  const Selector selector =
+      Selector::parse("exists a and b.c in (1, 2, 'x')").take();
+  const serde::Bytes wire = encoded_selector(selector);
+  for (int i = 0; i < 5; ++i) {
+    serde::Reader r(wire);
+    auto decoded = cache.decode(r);
+    ASSERT_TRUE(decoded.ok());
+    // Hit or miss, the reader must end up exactly past the selector.
+    EXPECT_TRUE(r.exhausted());
+    EXPECT_EQ(decoded.value().to_string(), selector.to_string());
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 4u);
+  EXPECT_EQ(cache.stats().collisions, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SelectorCacheTest, CachedDecodeMatchesUncachedDecisionExactly) {
+  // Figure-3 style profile whose decision takes the transformation path,
+  // so the comparison covers the full MatchDecision payload.
+  Profile profile;
+  profile.set("user.role", "viewer");
+  profile.set_interest(Selector::parse("media.encoding == 'JPEG'").take());
+  profile.add_capability(
+      {"media.encoding", AttributeValue("MPEG2"), AttributeValue("JPEG")});
+
+  SemanticMessage message;
+  message.selector = Selector::parse("exists user.role").take();
+  message.content.set("media.encoding", "MPEG2");
+  message.event_type = "media.share";
+  message.payload = {7, 7, 7};
+  const serde::Bytes wire = message.encode();
+
+  SelectorCache cache;
+  for (int round = 0; round < 3; ++round) {
+    auto plain = SemanticMessage::decode(wire);
+    auto cached = SemanticMessage::decode(wire, cache);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(cached.ok());
+    const MatchDecision a = match(profile, plain.value());
+    const MatchDecision b = match(profile, cached.value());
+    EXPECT_EQ(a.kind, MatchDecision::Kind::accepted_with_transformation);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.transformation, b.transformation);
+    EXPECT_EQ(cached.value().encode(), plain.value().encode());
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+std::uint64_t constant_fingerprint(std::span<const std::uint8_t>) {
+  return 42;
+}
+
+TEST(SelectorCacheTest, FingerprintCollisionFallsBackToFreshDecode) {
+  SelectorCache cache(8, &constant_fingerprint);
+  const Selector a = Selector::parse("a == 1").take();
+  const Selector b = Selector::parse("b.c == 'x'").take();
+  const serde::Bytes wire_a = encoded_selector(a);
+  const serde::Bytes wire_b = encoded_selector(b);
+  {
+    serde::Reader r(wire_a);
+    ASSERT_TRUE(cache.decode(r).ok());  // miss, fills the slot
+  }
+  {
+    serde::Reader r(wire_b);  // same fingerprint, different bytes
+    auto decoded = cache.decode(r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().to_string(), b.to_string());
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().collisions, 1u);
+  // Newest wins the contested slot: b now hits, a collides afresh but
+  // still decodes correctly.
+  {
+    serde::Reader r(wire_b);
+    ASSERT_TRUE(cache.decode(r).ok());
+  }
+  EXPECT_EQ(cache.stats().hits, 1u);
+  {
+    serde::Reader r(wire_a);
+    auto decoded = cache.decode(r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().to_string(), a.to_string());
+  }
+  EXPECT_EQ(cache.stats().collisions, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SelectorCacheTest, LruEvictionRespectsCapacity) {
+  SelectorCache cache(2);
+  const serde::Bytes wire_a = encoded_selector(Selector::parse("a == 1").take());
+  const serde::Bytes wire_b = encoded_selector(Selector::parse("a == 2").take());
+  const serde::Bytes wire_c = encoded_selector(Selector::parse("a == 3").take());
+  const auto decode = [&cache](const serde::Bytes& wire) {
+    serde::Reader r(wire);
+    ASSERT_TRUE(cache.decode(r).ok());
+  };
+  decode(wire_a);  // miss  {a}
+  decode(wire_b);  // miss  {b, a}
+  decode(wire_a);  // hit   {a, b}
+  decode(wire_c);  // miss, evicts b (least recently used)  {c, a}
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  decode(wire_b);  // miss again: b was evicted; evicts a  {b, c}
+  EXPECT_EQ(cache.stats().misses, 4u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SelectorCacheTest, ZeroCapacityDisablesStorage) {
+  SelectorCache cache(0);
+  const Selector selector = Selector::parse("a == 1").take();
+  const serde::Bytes wire = encoded_selector(selector);
+  for (int i = 0; i < 3; ++i) {
+    serde::Reader r(wire);
+    auto decoded = cache.decode(r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().to_string(), selector.to_string());
+  }
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
 }
 
 // --------------------------------------------------------------- peers
@@ -474,6 +610,26 @@ TEST_F(PeerTest, TransformationDecisionSurfacesToHandler) {
   sim_.run_all();
   EXPECT_EQ(seen.kind, MatchDecision::Kind::accepted_with_transformation);
   EXPECT_EQ(bob->stats().accepted_with_transformation, 1u);
+}
+
+TEST_F(PeerTest, SteadyStreamServesSelectorsFromDecodeCache) {
+  auto alice = make_peer("alice", 1);
+  auto bob = make_peer("bob", 2);
+  bob->profile().set("team", "rescue");
+  int got = 0;
+  bob->on_message(
+      [&](const SemanticMessage&, const MatchDecision&) { ++got; });
+  const Selector selector = Selector::parse("team == 'rescue'").take();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(alice->publish(text_message("tick", selector)).ok());
+  }
+  sim_.run_all();
+  EXPECT_EQ(got, 10);
+  // One real selector decode for the whole stream; the other nine
+  // messages hit the fingerprint cache.
+  EXPECT_EQ(bob->selector_cache_stats().misses, 1u);
+  EXPECT_EQ(bob->selector_cache_stats().hits, 9u);
+  EXPECT_EQ(bob->selector_cache_stats().collisions, 0u);
 }
 
 }  // namespace
