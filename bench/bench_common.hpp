@@ -13,6 +13,7 @@
 #include "collabqos/core/client.hpp"
 #include "collabqos/core/thin_client.hpp"
 #include "collabqos/snmp/host_mib.hpp"
+#include "collabqos/telemetry/metrics.hpp"
 
 namespace collabqos::bench {
 
@@ -77,6 +78,27 @@ class Testbed {
 inline void print_rule(char c = '-', int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar(c);
   std::putchar('\n');
+}
+
+/// Dump every non-zero telemetry family — the run's built-in audit trail.
+/// Figure benches call this after their series so a reader can see how
+/// much traffic, matching and adaptation work backed the numbers.
+inline void print_metrics_snapshot() {
+  const auto samples = telemetry::MetricsRegistry::global().snapshot();
+  std::printf("\ntelemetry snapshot (%zu families)\n", samples.size());
+  print_rule();
+  for (const auto& sample : samples) {
+    if (sample.kind == telemetry::InstrumentKind::histogram) {
+      if (sample.count == 0) continue;
+      std::printf("%-44s n=%llu sum=%.0f p50=%.0f p99=%.0f\n",
+                  sample.name.c_str(),
+                  static_cast<unsigned long long>(sample.count), sample.value,
+                  sample.p50, sample.p99);
+    } else {
+      if (sample.value == 0.0) continue;
+      std::printf("%-44s %.0f\n", sample.name.c_str(), sample.value);
+    }
+  }
 }
 
 }  // namespace collabqos::bench

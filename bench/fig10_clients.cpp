@@ -14,6 +14,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "collabqos/wireless/basestation.hpp"
 
 using namespace collabqos;
@@ -90,5 +91,6 @@ int main() {
       "motivates (\"no transformation ... will improve performance\").\n",
       extra,
       std::string(to_string(manager.grade(kA).value())).c_str());
+  collabqos::bench::print_metrics_snapshot();
   return 0;
 }

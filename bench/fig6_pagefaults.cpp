@@ -54,5 +54,6 @@ int main() {
   std::printf(
       "shape check: packets non-increasing in powers of two; CR rises,\n"
       "BPP falls monotonically with page-fault pressure (cf. paper Fig 6).\n");
+  bench::print_metrics_snapshot();
   return 0;
 }

@@ -50,5 +50,6 @@ int main() {
   std::printf(
       "shape check: packets fall to 0 at saturation (text fallback);\n"
       "CR rises and BPP falls monotonically with load (cf. paper Fig 7).\n");
+  bench::print_metrics_snapshot();
   return 0;
 }

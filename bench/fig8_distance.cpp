@@ -15,6 +15,7 @@
 // sits considerably above its open-loop SIR at the near points).
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "collabqos/wireless/basestation.hpp"
 
 using namespace collabqos;
@@ -94,5 +95,6 @@ int main() {
       "open-loop value — the \"considerable improvement\" the paper\n"
       "attributes to power control, with A's battery saved as a bonus.\n",
       backoff_b - open_loop_b);
+  collabqos::bench::print_metrics_snapshot();
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "collabqos/wireless/channel.hpp"
 
 using namespace collabqos;
@@ -54,5 +55,6 @@ int main() {
       "net SIR moves %+.2f dB across a 32x power sweep — a weaker lever\n"
       "than the distance variation of Figure 8.\n",
       last_net - first_net);
+  collabqos::bench::print_metrics_snapshot();
   return 0;
 }

@@ -4,6 +4,7 @@
 // vs sketch vs text description).
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "collabqos/core/adaptation.hpp"
 #include "collabqos/media/codec.hpp"
 #include "collabqos/media/sketch.hpp"
@@ -70,5 +71,6 @@ int main() {
   std::printf(
       "shape check: forwarded volume collapses by orders of magnitude at\n"
       "each threshold crossing — how the BS keeps weak clients in-session.\n");
+  collabqos::bench::print_metrics_snapshot();
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "collabqos/core/basestation_peer.hpp"
 
+#include "collabqos/core/decision_audit.hpp"
 #include "collabqos/util/logging.hpp"
 
 namespace collabqos::core {
@@ -59,6 +60,20 @@ BaseStationPeer::BaseStationPeer(net::Network& network, net::NodeId node,
   });
   radio_ = std::make_unique<wireless::RadioResourceManager>(options_.channel,
                                                             options_.radio);
+  auto& registry = telemetry::MetricsRegistry::global();
+  auto& regs = stats_.registrations;
+  regs.push_back(registry.attach("core.base_station.uplink_events",
+                                 stats_.uplink_events));
+  regs.push_back(registry.attach("core.base_station.multicast_relayed",
+                                 stats_.multicast_relayed));
+  regs.push_back(registry.attach("core.base_station.downlink_unicasts",
+                                 stats_.downlink_unicasts));
+  regs.push_back(registry.attach("core.base_station.suppressed_by_grade",
+                                 stats_.suppressed_by_grade));
+  regs.push_back(registry.attach("core.base_station.suppressed_by_profile",
+                                 stats_.suppressed_by_profile));
+  regs.push_back(registry.attach("core.base_station.adaptation_failures",
+                                 stats_.adaptation_failures));
 }
 
 BaseStationPeer::~BaseStationPeer() = default;
@@ -158,6 +173,21 @@ AdaptationDecision BaseStationPeer::decision_for(
     }
   }
   if (decision.modality != media::Modality::image) decision.packets = 0;
+  if (auto& audit = DecisionAuditLog::global(); audit.enabled()) {
+    DecisionRecord record;
+    record.time = network_.simulator().now();
+    record.client = "base-station";
+    record.inputs.set("radio.grade",
+                      std::string(wireless::to_string(grade)));
+    if (const pubsub::AttributeValue* preference =
+            profile.attributes().find("prefer.modality")) {
+      record.inputs.set("prefer.modality", *preference);
+    }
+    record.contract_min_packets = 0;
+    record.contract_max_packets = 16;
+    record.decision = decision;
+    audit.record(std::move(record));
+  }
   return decision;
 }
 

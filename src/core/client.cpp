@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "collabqos/core/decision_audit.hpp"
 #include "collabqos/util/logging.hpp"
 
 namespace collabqos::core {
@@ -19,6 +20,7 @@ CollaborationClient::CollaborationClient(net::Network& network,
                                          ClientConfig config)
     : id_(client_id),
       config_(std::move(config)),
+      simulator_(&network.simulator()),
       engine_(std::move(engine)),
       concurrency_(client_id),
       transformers_(media::TransformerSuite::with_builtins()) {
@@ -77,6 +79,16 @@ void CollaborationClient::refresh_decision() {
   CQ_TRACE(kComponent) << config_.name << " decision: packets="
                        << last_decision_.packets << " modality="
                        << media::to_string(last_decision_.modality);
+  if (auto& audit = DecisionAuditLog::global(); audit.enabled()) {
+    DecisionRecord record;
+    record.time = simulator_->now();
+    record.client = config_.name;
+    record.inputs = std::move(state);
+    record.contract_min_packets = engine_.contract().min_packets;
+    record.contract_max_packets = engine_.contract().max_packets;
+    record.decision = last_decision_;
+    audit.record(std::move(record));
+  }
 }
 
 Status CollaborationClient::share_media(const media::MediaObject& object,

@@ -1,0 +1,141 @@
+#include "collabqos/core/decision_audit.hpp"
+
+#include <cstdio>
+
+namespace collabqos::core {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_string_array(std::string& out,
+                         const std::vector<std::string>& items) {
+  out += '[';
+  bool first = true;
+  for (const std::string& item : items) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, item);
+    out += '"';
+  }
+  out += ']';
+}
+
+}  // namespace
+
+DecisionAuditLog& DecisionAuditLog::global() {
+  static DecisionAuditLog log;
+  return log;
+}
+
+void DecisionAuditLog::set_capacity(std::size_t capacity) {
+  std::scoped_lock lock(mutex_);
+  capacity_ = capacity;
+  while (records_.size() > capacity_) {
+    records_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void DecisionAuditLog::record(DecisionRecord record) {
+  std::scoped_lock lock(mutex_);
+  if (records_.size() >= capacity_) {
+    records_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  records_.push_back(std::move(record));
+}
+
+std::size_t DecisionAuditLog::size() const {
+  std::scoped_lock lock(mutex_);
+  return records_.size();
+}
+
+std::vector<DecisionRecord> DecisionAuditLog::drain() {
+  std::scoped_lock lock(mutex_);
+  std::vector<DecisionRecord> out(std::make_move_iterator(records_.begin()),
+                                  std::make_move_iterator(records_.end()));
+  records_.clear();
+  return out;
+}
+
+void DecisionAuditLog::clear() {
+  std::scoped_lock lock(mutex_);
+  records_.clear();
+}
+
+std::string DecisionAuditLog::to_jsonl(const DecisionRecord& record) {
+  std::string out;
+  out.reserve(256);
+  out += "{\"t_us\":";
+  out += std::to_string(record.time.as_micros());
+  out += ",\"client\":\"";
+  append_escaped(out, record.client);
+  out += "\",\"inputs\":{";
+  bool first = true;
+  for (const auto& entry : record.inputs) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, entry.name());
+    out += "\":\"";
+    append_escaped(out, entry.value.to_literal());
+    out += '"';
+  }
+  out += "},\"contract\":{\"min_packets\":";
+  out += std::to_string(record.contract_min_packets);
+  out += ",\"max_packets\":";
+  out += std::to_string(record.contract_max_packets);
+  out += "},\"decision\":{\"packets\":";
+  out += std::to_string(record.decision.packets);
+  out += ",\"modality\":\"";
+  append_escaped(out, media::to_string(record.decision.modality));
+  out += "\",\"resolution_fraction\":";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f",
+                record.decision.resolution_fraction);
+  out += buf;
+  out += ",\"contract_satisfiable\":";
+  out += record.decision.contract_satisfiable ? "true" : "false";
+  out += ",\"matched_rules\":";
+  append_string_array(out, record.decision.matched_rules);
+  out += ",\"violated_constraints\":";
+  append_string_array(out, record.decision.violated_constraints);
+  out += "}}";
+  return out;
+}
+
+Status DecisionAuditLog::dump_jsonl(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status(Errc::resource_limit,
+                  "cannot open audit dump file: " + path);
+  }
+  for (const DecisionRecord& record : drain()) {
+    const std::string line = to_jsonl(record);
+    std::fwrite(line.data(), 1, line.size(), file);
+    std::fputc('\n', file);
+  }
+  std::fclose(file);
+  return {};
+}
+
+}  // namespace collabqos::core

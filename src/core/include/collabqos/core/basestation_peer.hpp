@@ -42,6 +42,7 @@ struct AttachRequest {
   wireless::BatteryState battery{};
 };
 
+/// Point-in-time view (registry families "core.base_station.*").
 struct BaseStationStats {
   std::uint64_t uplink_events = 0;
   std::uint64_t multicast_relayed = 0;
@@ -93,8 +94,13 @@ class BaseStationPeer {
   [[nodiscard]] wireless::RadioResourceManager& radio() noexcept {
     return *radio_;
   }
-  [[nodiscard]] const BaseStationStats& stats() const noexcept {
-    return stats_;
+  [[nodiscard]] BaseStationStats stats() const noexcept {
+    return BaseStationStats{
+        stats_.uplink_events.value(),       stats_.multicast_relayed.value(),
+        stats_.downlink_unicasts.value(),   stats_.suppressed_by_grade.value(),
+        stats_.suppressed_by_profile.value(),
+        stats_.adaptation_failures.value(),
+    };
   }
   [[nodiscard]] net::Address address() const noexcept {
     return peer_->address();
@@ -118,6 +124,17 @@ class BaseStationPeer {
     pubsub::Profile profile;
   };
 
+  /// Registry-backed counters; BaseStationStats is the cheap view.
+  struct Counters {
+    telemetry::Counter uplink_events;
+    telemetry::Counter multicast_relayed;
+    telemetry::Counter downlink_unicasts;
+    telemetry::Counter suppressed_by_grade;
+    telemetry::Counter suppressed_by_profile;
+    telemetry::Counter adaptation_failures;
+    std::vector<telemetry::Registration> registrations;
+  };
+
   void on_multicast(const pubsub::SemanticMessage& message);
   /// Adapt and unicast `message` to one wireless client if its profile
   /// and grade admit it. `exclude_station` skips the uplink originator.
@@ -135,7 +152,7 @@ class BaseStationPeer {
   std::map<std::uint32_t, ClientEntry> clients_;
   std::map<net::Address, wireless::StationId> by_address_;
   media::TransformerSuite transformers_;
-  BaseStationStats stats_;
+  Counters stats_;
 };
 
 }  // namespace collabqos::core

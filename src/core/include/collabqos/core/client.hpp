@@ -98,7 +98,7 @@ class CollaborationClient {
   [[nodiscard]] SystemStateInterface* system_state() noexcept {
     return state_interface_.get();
   }
-  [[nodiscard]] const pubsub::PeerStats& peer_stats() const noexcept {
+  [[nodiscard]] pubsub::PeerStats peer_stats() const noexcept {
     return peer_->stats();
   }
 
@@ -128,6 +128,7 @@ class CollaborationClient {
 
   std::uint64_t id_;
   ClientConfig config_;
+  sim::Simulator* simulator_;  ///< decision-audit timestamps
   std::unique_ptr<pubsub::SemanticPeer> peer_;
   std::unique_ptr<SystemStateInterface> state_interface_;
   std::unique_ptr<sim::PeriodicTimer> rtcp_timer_;

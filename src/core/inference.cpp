@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "collabqos/telemetry/metrics.hpp"
+
 namespace collabqos::core {
 
 int CpuLoadMapping::packets_for(double cpu_load_percent) const noexcept {
@@ -24,6 +26,15 @@ InferenceEngine::InferenceEngine(QoSContract contract,
 
 AdaptationDecision InferenceEngine::decide(
     const pubsub::AttributeSet& state) const {
+  // Registry-owned counters: every engine instance shares the process
+  // totals (engines are copied around freely, so per-instance attachment
+  // would double-count).
+  static telemetry::Counter& decisions =
+      telemetry::MetricsRegistry::global().counter("core.inference.decisions");
+  static telemetry::Counter& unsatisfiable =
+      telemetry::MetricsRegistry::global().counter(
+          "core.inference.contract_unsatisfiable");
+  ++decisions;
   AdaptationDecision decision;
   decision.violated_constraints = contract_.violations(state);
 
@@ -55,6 +66,7 @@ AdaptationDecision InferenceEngine::decide(
   // Contract clamps: quality floor and modality floor.
   if (contract_.min_packets > contract_.max_packets) {
     decision.contract_satisfiable = false;
+    ++unsatisfiable;
   }
   packets = std::clamp(packets, std::min(contract_.min_packets,
                                          contract_.max_packets),

@@ -15,6 +15,7 @@
 #include "collabqos/net/link.hpp"
 #include "collabqos/serde/wire.hpp"
 #include "collabqos/sim/simulator.hpp"
+#include "collabqos/telemetry/metrics.hpp"
 #include "collabqos/util/result.hpp"
 
 namespace collabqos::net {
@@ -28,6 +29,10 @@ struct Datagram {
   /// Shared with the sender and every other receiver of the same
   /// transmission — one encode, one buffer, N deliveries.
   serde::SharedBytes payload;
+  /// Virtual time the sender handed the datagram to the network.
+  /// Simulator-side metadata (a real UDP header has no such field); the
+  /// telemetry layer uses it for net.transit trace spans.
+  sim::TimePoint sent_at{};
 };
 
 using ReceiveHandler = std::function<void(const Datagram&)>;
@@ -83,7 +88,8 @@ class Endpoint {
   bool loopback_ = false;
 };
 
-/// Simple counters for observability and tests.
+/// Point-in-time view of the network's counters (registry families
+/// "net.datagrams.*" / "net.bytes.*"; see DESIGN.md §9).
 struct NetworkStats {
   std::uint64_t datagrams_sent = 0;
   std::uint64_t datagrams_delivered = 0;
@@ -120,7 +126,15 @@ class Network {
   [[nodiscard]] Result<std::unique_ptr<Endpoint>> bind(NodeId node,
                                                        Port port = 0);
 
-  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] NetworkStats stats() const noexcept {
+    return NetworkStats{
+        stats_.datagrams_sent.value(),
+        stats_.datagrams_delivered.value(),
+        stats_.datagrams_dropped_loss.value(),
+        stats_.datagrams_dropped_unbound.value(),
+        stats_.bytes_delivered.value(),
+    };
+  }
   [[nodiscard]] Result<NodeStats> node_stats(NodeId node) const;
   [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
   [[nodiscard]] Result<std::string> node_name(NodeId node) const;
@@ -132,12 +146,32 @@ class Network {
  private:
   friend class Endpoint;
 
+  /// Registry-backed network totals; NetworkStats is the cheap view.
+  struct NetworkCounters {
+    telemetry::Counter datagrams_sent;
+    telemetry::Counter datagrams_delivered;
+    telemetry::Counter datagrams_dropped_loss;
+    telemetry::Counter datagrams_dropped_unbound;
+    telemetry::Counter bytes_delivered;
+    std::vector<telemetry::Registration> registrations;
+  };
+
+  /// Per-node interface counters. Heap-allocated so their addresses (and
+  /// the attached registry entries) survive Node being moved into the map.
+  struct NodeCounters {
+    telemetry::Counter datagrams_in;
+    telemetry::Counter datagrams_out;
+    telemetry::Counter bytes_in;
+    telemetry::Counter bytes_out;
+    std::vector<telemetry::Registration> registrations;
+  };
+
   struct Node {
     std::string name;
     std::unique_ptr<LinkModel> uplink;
     std::unique_ptr<LinkModel> downlink;
     Port next_ephemeral = 49152;
-    NodeStats stats;
+    std::unique_ptr<NodeCounters> counters;
   };
 
   Status send_unicast(Endpoint& from, Address to, serde::SharedBytes payload);
@@ -157,7 +191,7 @@ class Network {
   std::map<std::uint32_t, Node> nodes_;
   std::map<Address, Endpoint*> bound_;
   std::map<std::uint32_t, std::set<Address>> groups_;
-  NetworkStats stats_;
+  NetworkCounters stats_;
   std::uint32_t next_node_ = 1;
 };
 

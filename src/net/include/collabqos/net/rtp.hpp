@@ -77,6 +77,9 @@ struct RtpObject {
   std::uint16_t fragments_received = 0;
   std::uint16_t fragment_count = 0;
   bool complete = false;
+  /// Virtual time the first fragment of this object arrived (receiver-side
+  /// metadata; the telemetry layer spans reassembly from it).
+  sim::TimePoint first_fragment_at{};
   /// Fragments in index order; missing ones are empty vectors.
   std::vector<serde::Bytes> fragments;
 

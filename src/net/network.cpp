@@ -60,7 +60,19 @@ bool Endpoint::member_of(GroupId group) const {
 // ----------------------------------------------------------------- Network
 
 Network::Network(sim::Simulator& simulator, std::uint64_t seed)
-    : simulator_(simulator), rng_(seed) {}
+    : simulator_(simulator), rng_(seed) {
+  auto& registry = telemetry::MetricsRegistry::global();
+  stats_.registrations.push_back(
+      registry.attach("net.datagrams.sent", stats_.datagrams_sent));
+  stats_.registrations.push_back(
+      registry.attach("net.datagrams.delivered", stats_.datagrams_delivered));
+  stats_.registrations.push_back(registry.attach(
+      "net.datagrams.dropped_loss", stats_.datagrams_dropped_loss));
+  stats_.registrations.push_back(registry.attach(
+      "net.datagrams.dropped_unbound", stats_.datagrams_dropped_unbound));
+  stats_.registrations.push_back(
+      registry.attach("net.bytes.delivered", stats_.bytes_delivered));
+}
 
 Network::~Network() {
   // Endpoints may outlive us in tests only by bug; defensively detach.
@@ -73,6 +85,16 @@ NodeId Network::add_node(const std::string& name, LinkParams params) {
   node.name = name;
   node.uplink = std::make_unique<LinkModel>(params, rng_.split());
   node.downlink = std::make_unique<LinkModel>(params, rng_.split());
+  node.counters = std::make_unique<NodeCounters>();
+  auto& registry = telemetry::MetricsRegistry::global();
+  node.counters->registrations.push_back(
+      registry.attach("net.node.datagrams_in", node.counters->datagrams_in));
+  node.counters->registrations.push_back(
+      registry.attach("net.node.datagrams_out", node.counters->datagrams_out));
+  node.counters->registrations.push_back(
+      registry.attach("net.node.bytes_in", node.counters->bytes_in));
+  node.counters->registrations.push_back(
+      registry.attach("net.node.bytes_out", node.counters->bytes_out));
   nodes_.emplace(id, std::move(node));
   return make_node(id);
 }
@@ -130,7 +152,13 @@ Result<NodeStats> Network::node_stats(NodeId node) const {
   if (it == nodes_.end()) {
     return Error{Errc::no_such_object, "unknown node"};
   }
-  return it->second.stats;
+  const NodeCounters& counters = *it->second.counters;
+  return NodeStats{
+      counters.datagrams_in.value(),
+      counters.datagrams_out.value(),
+      counters.bytes_in.value(),
+      counters.bytes_out.value(),
+  };
 }
 
 Result<std::string> Network::node_name(NodeId node) const {
@@ -170,8 +198,8 @@ Status Network::send_unicast(Endpoint& from, Address to,
   }
   ++stats_.datagrams_sent;
   Node& source = nodes_.at(raw(from.address_.node));
-  ++source.stats.datagrams_out;
-  source.stats.bytes_out += payload.size();
+  ++source.counters->datagrams_out;
+  source.counters->bytes_out += payload.size();
   const LinkVerdict up = source.uplink->transmit(payload.size());
   if (!up.delivered) {
     ++stats_.datagrams_dropped_loss;
@@ -189,8 +217,8 @@ Status Network::send_multicast(Endpoint& from, GroupId group,
   }
   ++stats_.datagrams_sent;
   Node& source = nodes_.at(raw(from.address_.node));
-  ++source.stats.datagrams_out;
-  source.stats.bytes_out += payload.size();
+  ++source.counters->datagrams_out;
+  source.counters->bytes_out += payload.size();
   const LinkVerdict up = source.uplink->transmit(payload.size());
   if (!up.delivered) {
     ++stats_.datagrams_dropped_loss;
@@ -221,8 +249,8 @@ void Network::route(Address source, Address destination, bool via_multicast,
     ++stats_.datagrams_dropped_loss;
     return;
   }
-  ++node_it->second.stats.datagrams_in;
-  node_it->second.stats.bytes_in += payload.size();
+  ++node_it->second.counters->datagrams_in;
+  node_it->second.counters->bytes_in += payload.size();
   const sim::Duration total = uplink_delay + down.delay;
   Datagram datagram;
   datagram.source = source;
@@ -230,6 +258,7 @@ void Network::route(Address source, Address destination, bool via_multicast,
   datagram.via_multicast = via_multicast;
   datagram.group = group;
   datagram.payload = payload;
+  datagram.sent_at = simulator_.now();
   simulator_.schedule_after(
       total, [this, datagram = std::move(datagram)]() mutable {
         const auto it = bound_.find(datagram.destination);

@@ -153,6 +153,7 @@ Status RtpReceiver::ingest(RtpPacket packet, sim::TimePoint now) {
     pending.object.fragment_count = packet.fragment_count;
     pending.object.fragments.resize(packet.fragment_count);
     pending.received.assign(packet.fragment_count, false);
+    pending.object.first_fragment_at = now;
   } else if (pending.object.fragment_count != packet.fragment_count) {
     return Status(Errc::malformed, "fragment count mismatch within object");
   }

@@ -22,9 +22,12 @@
 #include "collabqos/pubsub/message.hpp"
 #include "collabqos/pubsub/profile.hpp"
 #include "collabqos/pubsub/selector_cache.hpp"
+#include "collabqos/telemetry/metrics.hpp"
 
 namespace collabqos::pubsub {
 
+/// Point-in-time view of one peer's counters (registry families
+/// "pubsub.peer.*" sum these across all live peers).
 struct PeerStats {
   std::uint64_t published = 0;
   std::uint64_t received_objects = 0;
@@ -98,9 +101,21 @@ class SemanticPeer {
     return endpoint_->address();
   }
   [[nodiscard]] net::GroupId group() const noexcept { return group_; }
-  [[nodiscard]] const PeerStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] const SelectorCache::Stats& selector_cache_stats()
-      const noexcept {
+  [[nodiscard]] PeerStats stats() const noexcept {
+    return PeerStats{
+        stats_.published.value(),
+        stats_.received_objects.value(),
+        stats_.undecodable.value(),
+        stats_.incomplete_dropped.value(),
+        stats_.rejected.value(),
+        stats_.accepted.value(),
+        stats_.accepted_with_transformation.value(),
+        stats_.nacks_sent.value(),
+        stats_.nacks_received.value(),
+        stats_.retransmissions.value(),
+    };
+  }
+  [[nodiscard]] SelectorCache::Stats selector_cache_stats() const noexcept {
     return selector_cache_.stats();
   }
 
@@ -118,6 +133,22 @@ class SemanticPeer {
   }
 
  private:
+  /// Registry-backed counters; PeerStats is the cheap view.
+  struct PeerCounters {
+    telemetry::Counter published;
+    telemetry::Counter received_objects;
+    telemetry::Counter undecodable;
+    telemetry::Counter incomplete_dropped;
+    telemetry::Counter rejected;
+    telemetry::Counter accepted;
+    telemetry::Counter accepted_with_transformation;
+    telemetry::Counter nacks_sent;
+    telemetry::Counter nacks_received;
+    telemetry::Counter retransmissions;
+    std::vector<telemetry::Registration> registrations;
+  };
+
+  void register_counters();
   void on_datagram(const net::Datagram& datagram);
   void on_object(const net::RtpObject& object);
   /// `transport_timestamp` keys RTP reassembly; it must be unique per
@@ -142,7 +173,7 @@ class SemanticPeer {
   std::unique_ptr<sim::PeriodicTimer> flush_timer_;
   MessageHandler handler_;
   std::uint64_t next_sequence_ = 1;
-  PeerStats stats_;
+  PeerCounters stats_;
   std::set<std::uint64_t> heard_senders_;
   /// Receiver-side ARQ state, keyed by (ssrc, transport timestamp).
   using ObjectKey = std::pair<std::uint32_t, std::uint32_t>;

@@ -45,6 +45,7 @@ struct NamedMessage {
   serde::Bytes payload;
 };
 
+/// Point-in-time view (registry families "baseline.naming_server.*").
 struct NamingServerStats {
   std::uint64_t registrations = 0;
   std::uint64_t roster_pushes = 0;      ///< datagrams carrying rosters
@@ -64,20 +65,30 @@ class NamingServer {
   [[nodiscard]] std::size_t roster_size() const noexcept {
     return roster_.size();
   }
-  [[nodiscard]] const NamingServerStats& stats() const noexcept {
-    return stats_;
+  [[nodiscard]] NamingServerStats stats() const noexcept {
+    return NamingServerStats{stats_.registrations.value(),
+                             stats_.roster_pushes.value(),
+                             stats_.roster_bytes.value()};
   }
 
  private:
+  struct Counters {
+    telemetry::Counter registrations;
+    telemetry::Counter roster_pushes;
+    telemetry::Counter roster_bytes;
+    std::vector<telemetry::Registration> registrations_handles;
+  };
+
   void handle(const net::Datagram& datagram);
   void broadcast_roster();
 
   net::Network& network_;
   std::unique_ptr<net::Endpoint> endpoint_;
   std::map<std::string, RosterEntry> roster_;
-  NamingServerStats stats_;
+  Counters stats_;
 };
 
+/// Point-in-time view (registry families "baseline.named_client.*").
 struct NamedClientStats {
   std::uint64_t sent_unicasts = 0;
   std::uint64_t sent_bytes = 0;
@@ -108,14 +119,25 @@ class NamedClient {
   [[nodiscard]] std::size_t known_roster_size() const noexcept {
     return roster_.size();
   }
-  [[nodiscard]] const NamedClientStats& stats() const noexcept {
-    return stats_;
+  [[nodiscard]] NamedClientStats stats() const noexcept {
+    return NamedClientStats{stats_.sent_unicasts.value(),
+                            stats_.sent_bytes.value(),
+                            stats_.delivered.value(),
+                            stats_.roster_updates.value()};
   }
   [[nodiscard]] net::Address address() const noexcept {
     return endpoint_->address();
   }
 
  private:
+  struct Counters {
+    telemetry::Counter sent_unicasts;
+    telemetry::Counter sent_bytes;
+    telemetry::Counter delivered;
+    telemetry::Counter roster_updates;
+    std::vector<telemetry::Registration> registrations;
+  };
+
   void handle(const net::Datagram& datagram);
 
   net::Network& network_;
@@ -124,7 +146,7 @@ class NamedClient {
   net::Address server_;
   std::vector<RosterEntry> roster_;
   MessageHandler handler_;
-  NamedClientStats stats_;
+  Counters stats_;
 };
 
 }  // namespace collabqos::pubsub::baseline

@@ -14,6 +14,7 @@
 
 #include "collabqos/pubsub/selector.hpp"
 #include "collabqos/serde/wire.hpp"
+#include "collabqos/telemetry/metrics.hpp"
 #include "collabqos/util/result.hpp"
 
 namespace collabqos::pubsub {
@@ -28,6 +29,8 @@ class SelectorCache {
   /// so tests can force collisions with a constant hash.
   using HashFn = std::uint64_t (*)(std::span<const std::uint8_t>);
 
+  /// Point-in-time view of the cache's counters (registry families
+  /// "pubsub.selector_cache.*").
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -38,8 +41,7 @@ class SelectorCache {
   static constexpr std::size_t kDefaultCapacity = 128;
 
   explicit SelectorCache(std::size_t capacity = kDefaultCapacity,
-                         HashFn hash = &fingerprint)
-      : capacity_(capacity), hash_(hash) {}
+                         HashFn hash = &fingerprint);
 
   /// Decode the selector at the reader's cursor. On a cache hit the
   /// reader skips the encoded bytes without decoding them; on a miss it
@@ -50,7 +52,10 @@ class SelectorCache {
   /// FNV-1a (64-bit) — the default HashFn.
   static std::uint64_t fingerprint(std::span<const std::uint8_t> bytes);
 
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Stats stats() const noexcept {
+    return Stats{stats_.hits.value(), stats_.misses.value(),
+                 stats_.collisions.value(), stats_.evictions.value()};
+  }
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
@@ -61,11 +66,20 @@ class SelectorCache {
     Selector selector;
   };
 
+  /// Registry-backed counters; Stats is the cheap view.
+  struct Counters {
+    telemetry::Counter hits;
+    telemetry::Counter misses;
+    telemetry::Counter collisions;
+    telemetry::Counter evictions;
+    std::vector<telemetry::Registration> registrations;
+  };
+
   std::size_t capacity_;
   HashFn hash_;
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> entries_;
-  Stats stats_;
+  Counters stats_;
 };
 
 }  // namespace collabqos::pubsub

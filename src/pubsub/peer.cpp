@@ -1,7 +1,9 @@
 #include "collabqos/pubsub/peer.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
+#include "collabqos/telemetry/trace.hpp"
 #include "collabqos/util/logging.hpp"
 
 namespace collabqos::pubsub {
@@ -10,6 +12,16 @@ namespace {
 constexpr std::string_view kComponent = "pubsub.peer";
 constexpr std::uint8_t kSemanticPayloadType = 96;  // dynamic RTP PT range
 constexpr std::uint8_t kNackMagic = 0xA8;          // distinct from RTP 0xA7
+
+std::string_view verdict_name(MatchDecision::Kind kind) noexcept {
+  switch (kind) {
+    case MatchDecision::Kind::rejected: return "rejected";
+    case MatchDecision::Kind::accepted: return "accepted";
+    case MatchDecision::Kind::accepted_with_transformation:
+      return "accepted_with_transformation";
+  }
+  return "?";
+}
 
 serde::Bytes encode_nack(std::uint32_t ssrc, std::uint32_t timestamp,
                          const std::vector<std::uint16_t>& missing) {
@@ -45,6 +57,7 @@ SemanticPeer::SemanticPeer(net::Network& network, net::NodeId node,
                                status.error().message);
     }
   }
+  register_counters();
   endpoint_->on_receive(
       [this](const net::Datagram& datagram) { on_datagram(datagram); });
   receiver_.on_object(
@@ -60,6 +73,27 @@ SemanticPeer::SemanticPeer(net::Network& network, net::NodeId node,
 
 SemanticPeer::~SemanticPeer() = default;
 
+void SemanticPeer::register_counters() {
+  auto& registry = telemetry::MetricsRegistry::global();
+  auto& regs = stats_.registrations;
+  regs.push_back(registry.attach("pubsub.peer.published", stats_.published));
+  regs.push_back(
+      registry.attach("pubsub.peer.received_objects", stats_.received_objects));
+  regs.push_back(
+      registry.attach("pubsub.peer.undecodable", stats_.undecodable));
+  regs.push_back(registry.attach("pubsub.peer.incomplete_dropped",
+                                 stats_.incomplete_dropped));
+  regs.push_back(registry.attach("pubsub.peer.rejected", stats_.rejected));
+  regs.push_back(registry.attach("pubsub.peer.accepted", stats_.accepted));
+  regs.push_back(registry.attach("pubsub.peer.accepted_with_transformation",
+                                 stats_.accepted_with_transformation));
+  regs.push_back(registry.attach("pubsub.peer.nacks_sent", stats_.nacks_sent));
+  regs.push_back(
+      registry.attach("pubsub.peer.nacks_received", stats_.nacks_received));
+  regs.push_back(
+      registry.attach("pubsub.peer.retransmissions", stats_.retransmissions));
+}
+
 Status SemanticPeer::transmit(
     const SemanticMessage& message, std::uint32_t transport_timestamp,
     const std::function<Status(serde::SharedBytes)>& sink) {
@@ -67,6 +101,17 @@ Status SemanticPeer::transmit(
   const auto packets =
       packetizer_.packetize(encoded, kSemanticPayloadType,
                             transport_timestamp);
+  if (auto& tracer = telemetry::Tracer::global(); tracer.enabled()) {
+    telemetry::Span span;
+    span.trace_id =
+        telemetry::make_trace_id(packetizer_.ssrc(), transport_timestamp);
+    span.name = "rtp.fragment";
+    span.actor = peer_id_;
+    span.start = span.end = network_.simulator().now();
+    span.tags.emplace_back("fragments", std::to_string(packets.size()));
+    span.tags.emplace_back("bytes", std::to_string(encoded.size()));
+    tracer.record(std::move(span));
+  }
   for (const net::RtpPacket& packet : packets) {
     remember_sent(packet);
     if (auto status = sink(packet.encode()); !status.ok()) return status;
@@ -80,6 +125,16 @@ Status SemanticPeer::publish(SemanticMessage message) {
   ++stats_.published;
   CQ_TRACE(kComponent) << "peer " << peer_id_ << " publishes "
                        << message.event_type;
+  if (auto& tracer = telemetry::Tracer::global(); tracer.enabled()) {
+    telemetry::Span span;
+    span.trace_id = telemetry::make_trace_id(
+        packetizer_.ssrc(), static_cast<std::uint32_t>(message.sequence));
+    span.name = "pubsub.publish";
+    span.actor = peer_id_;
+    span.start = span.end = network_.simulator().now();
+    span.tags.emplace_back("event_type", message.event_type);
+    tracer.record(std::move(span));
+  }
   return transmit(message, static_cast<std::uint32_t>(message.sequence),
                   [this](serde::SharedBytes bytes) {
     return endpoint_->send_multicast(group_, std::move(bytes));
@@ -119,6 +174,18 @@ void SemanticPeer::on_datagram(const net::Datagram& datagram) {
     return;
   }
   const ObjectKey key{decoded.value().ssrc, decoded.value().timestamp};
+  if (auto& tracer = telemetry::Tracer::global(); tracer.enabled()) {
+    telemetry::Span span;
+    span.trace_id = telemetry::make_trace_id(key.first, key.second);
+    span.name = "net.transit";
+    span.actor = peer_id_;
+    span.start = datagram.sent_at;
+    span.end = network_.simulator().now();
+    span.tags.emplace_back("bytes", std::to_string(datagram.payload.size()));
+    span.tags.emplace_back(
+        "fragment", std::to_string(decoded.value().fragment_index));
+    tracer.record(std::move(span));
+  }
   // Remember where this object's fragments come from so repairs can be
   // requested from the right sender (unicast, even for multicast data).
   // Recorded BEFORE ingest: on_object erases the entry when the object
@@ -213,7 +280,24 @@ void SemanticPeer::on_object(const net::RtpObject& object) {
     return;
   }
   ++stats_.received_objects;
+  auto& tracer = telemetry::Tracer::global();
+  const bool tracing = tracer.enabled();
+  const std::uint64_t trace_id =
+      telemetry::make_trace_id(object.ssrc, object.timestamp);
+  if (tracing) {
+    telemetry::Span span;
+    span.trace_id = trace_id;
+    span.name = "rtp.reassemble";
+    span.actor = peer_id_;
+    span.start = object.first_fragment_at;
+    span.end = network_.simulator().now();
+    span.tags.emplace_back("fragments",
+                           std::to_string(object.fragment_count));
+    tracer.record(std::move(span));
+  }
   const serde::Bytes bytes = object.reassemble();
+  const std::uint64_t cache_hits_before =
+      tracing ? selector_cache_.stats().hits : 0;
   auto decoded = SemanticMessage::decode(bytes, selector_cache_);
   if (!decoded) {
     ++stats_.undecodable;
@@ -223,13 +307,41 @@ void SemanticPeer::on_object(const net::RtpObject& object) {
   }
   const SemanticMessage& message = decoded.value();
   MatchDecision decision;
+  std::int64_t match_ns = -1;
   if (options_.promiscuous) {
     decision.kind = MatchDecision::Kind::accepted;
     ++stats_.accepted;
+  } else if (tracing) {
+    // Wall-clock VM time is measured only while tracing: the span tag is
+    // diagnostic, and a steady_clock read per message is not free.
+    const auto wall_start = std::chrono::steady_clock::now();
+    decision = match(profile_, message);
+    match_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - wall_start)
+                   .count();
+  } else {
+    decision = match(profile_, message);
+  }
+  if (tracing) {
+    telemetry::Span span;
+    span.trace_id = trace_id;
+    span.name = "pubsub.match";
+    span.actor = peer_id_;
+    span.start = span.end = network_.simulator().now();
+    span.tags.emplace_back(
+        "cache",
+        selector_cache_.stats().hits > cache_hits_before ? "hit" : "miss");
+    span.tags.emplace_back("verdict", std::string(verdict_name(decision.kind)));
+    if (options_.promiscuous) span.tags.emplace_back("promiscuous", "1");
+    if (match_ns >= 0) {
+      span.tags.emplace_back("match_ns", std::to_string(match_ns));
+    }
+    tracer.record(std::move(span));
+  }
+  if (options_.promiscuous) {
     if (handler_) handler_(message, decision);
     return;
   }
-  decision = match(profile_, message);
   switch (decision.kind) {
     case MatchDecision::Kind::rejected:
       ++stats_.rejected;

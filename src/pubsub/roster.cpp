@@ -44,6 +44,13 @@ NamingServer::NamingServer(net::Network& network, net::NodeId node)
                              endpoint.error().message);
   }
   endpoint_ = std::move(endpoint).take();
+  auto& registry = telemetry::MetricsRegistry::global();
+  stats_.registrations_handles.push_back(registry.attach(
+      "baseline.naming_server.registrations", stats_.registrations));
+  stats_.registrations_handles.push_back(registry.attach(
+      "baseline.naming_server.roster_pushes", stats_.roster_pushes));
+  stats_.registrations_handles.push_back(registry.attach(
+      "baseline.naming_server.roster_bytes", stats_.roster_bytes));
   endpoint_->on_receive(
       [this](const net::Datagram& datagram) { handle(datagram); });
 }
@@ -86,6 +93,15 @@ NamedClient::NamedClient(net::Network& network, net::NodeId node,
                              endpoint.error().message);
   }
   endpoint_ = std::move(endpoint).take();
+  auto& registry = telemetry::MetricsRegistry::global();
+  stats_.registrations.push_back(registry.attach(
+      "baseline.named_client.sent_unicasts", stats_.sent_unicasts));
+  stats_.registrations.push_back(
+      registry.attach("baseline.named_client.sent_bytes", stats_.sent_bytes));
+  stats_.registrations.push_back(
+      registry.attach("baseline.named_client.delivered", stats_.delivered));
+  stats_.registrations.push_back(registry.attach(
+      "baseline.named_client.roster_updates", stats_.roster_updates));
   endpoint_->on_receive(
       [this](const net::Datagram& datagram) { handle(datagram); });
 }

@@ -16,7 +16,7 @@ namespace collabqos::sim {
 /// Event identifier; usable to cancel a pending event.
 using EventId = std::uint64_t;
 
-class Simulator {
+class Simulator : public Clock {
  public:
   using Action = std::function<void()>;
 
@@ -25,7 +25,7 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current virtual time.
-  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+  [[nodiscard]] TimePoint now() const noexcept override { return now_; }
 
   /// Schedule `action` at absolute time `when` (>= now). Events scheduled
   /// for the same instant run in scheduling order (FIFO).

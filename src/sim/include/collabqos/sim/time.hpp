@@ -83,4 +83,13 @@ class TimePoint {
 [[nodiscard]] std::string to_string(TimePoint t);
 [[nodiscard]] std::string to_string(Duration d);
 
+/// Read-only virtual-clock interface. Consumers that only need "what time
+/// is it" (Logging's line prefixes, telemetry stamps) take a
+/// `const Clock*` instead of depending on the full Simulator.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual TimePoint now() const noexcept = 0;
+};
+
 }  // namespace collabqos::sim

@@ -21,6 +21,17 @@ Agent::Agent(net::Network& network, net::NodeId node,
                              endpoint.error().message);
   }
   endpoint_ = std::move(endpoint).take();
+  auto& registry = telemetry::MetricsRegistry::global();
+  stats_.registrations.push_back(
+      registry.attach("snmp.agent.requests", stats_.requests));
+  stats_.registrations.push_back(
+      registry.attach("snmp.agent.auth_failures", stats_.auth_failures));
+  stats_.registrations.push_back(
+      registry.attach("snmp.agent.malformed", stats_.malformed));
+  stats_.registrations.push_back(
+      registry.attach("snmp.agent.responses", stats_.responses));
+  stats_.registrations.push_back(
+      registry.attach("snmp.agent.traps_sent", stats_.traps_sent));
   endpoint_->on_receive(
       [this](const net::Datagram& datagram) { handle(datagram); });
 }

@@ -13,6 +13,7 @@
 
 namespace collabqos::snmp {
 
+/// Point-in-time view (registry families "snmp.agent.*").
 struct AgentStats {
   std::uint64_t requests = 0;
   std::uint64_t auth_failures = 0;
@@ -42,7 +43,11 @@ class Agent {
   [[nodiscard]] net::Address address() const noexcept {
     return endpoint_->address();
   }
-  [[nodiscard]] const AgentStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] AgentStats stats() const noexcept {
+    return AgentStats{stats_.requests.value(), stats_.auth_failures.value(),
+                      stats_.malformed.value(), stats_.responses.value(),
+                      stats_.traps_sent.value()};
+  }
 
   /// Artificial per-request processing delay (models agent latency).
   void set_processing_delay(sim::Duration delay) noexcept { delay_ = delay; }
@@ -57,6 +62,16 @@ class Agent {
   void stop_trap_monitor();
 
  private:
+  /// Registry-backed counters; AgentStats is the cheap view.
+  struct Counters {
+    telemetry::Counter requests;
+    telemetry::Counter auth_failures;
+    telemetry::Counter malformed;
+    telemetry::Counter responses;
+    telemetry::Counter traps_sent;
+    std::vector<telemetry::Registration> registrations;
+  };
+
   void handle(const net::Datagram& datagram);
   [[nodiscard]] Pdu service(const Pdu& request);
   [[nodiscard]] bool authorized(const Pdu& request) const;
@@ -68,7 +83,7 @@ class Agent {
   std::string read_community_;
   std::string write_community_;
   sim::Duration delay_ = sim::Duration::micros(500);
-  AgentStats stats_;
+  Counters stats_;
   struct ArmedRule {
     TrapRule rule;
     bool latched = false;  ///< true after firing, until the value recedes

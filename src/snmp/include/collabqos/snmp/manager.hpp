@@ -16,6 +16,7 @@
 
 namespace collabqos::snmp {
 
+/// Point-in-time view (registry families "snmp.manager.*").
 struct ManagerStats {
   std::uint64_t requests = 0;
   std::uint64_t responses = 0;
@@ -65,7 +66,11 @@ class Manager {
                  const Oid& root, std::uint32_t max_repetitions,
                  std::function<void(Result<std::vector<VarBind>>)> callback);
 
-  [[nodiscard]] const ManagerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] ManagerStats stats() const noexcept {
+    return ManagerStats{stats_.requests.value(), stats_.responses.value(),
+                        stats_.timeouts.value(), stats_.retries.value(),
+                        stats_.traps_received.value()};
+  }
 
   /// Receive unsolicited traps. Opens the trap sink (node:162) on first
   /// use; fails with Errc::conflict if another listener holds the port.
@@ -73,6 +78,16 @@ class Manager {
   Status listen_for_traps(TrapHandler handler);
 
  private:
+  /// Registry-backed counters; ManagerStats is the cheap view.
+  struct Counters {
+    telemetry::Counter requests;
+    telemetry::Counter responses;
+    telemetry::Counter timeouts;
+    telemetry::Counter retries;
+    telemetry::Counter traps_received;
+    std::vector<telemetry::Registration> registrations;
+  };
+
   struct Outstanding {
     Pdu request;
     net::Address agent;
@@ -93,7 +108,7 @@ class Manager {
   Options options_;
   std::map<std::uint32_t, Outstanding> outstanding_;
   std::uint32_t next_request_id_ = 1;
-  ManagerStats stats_;
+  Counters stats_;
 };
 
 }  // namespace collabqos::snmp

@@ -83,6 +83,16 @@ namespace oids {
 /// extension: available bandwidth estimate in kbit/s (gauge).
 [[nodiscard]] Oid tassl_bandwidth();
 
+/// Self-export subtree (enterprises.26510.10): the framework's own
+/// telemetry registry published as managed objects (DESIGN.md §9).
+[[nodiscard]] Oid tassl_telemetry_root();
+/// telemetry.0.0: number of exported metric families (gauge).
+[[nodiscard]] Oid tassl_telemetry_count();
+/// telemetry.1.<export_id>.0: family name (octets) — the directory.
+[[nodiscard]] Oid tassl_telemetry_name(std::uint32_t export_id);
+/// telemetry.2.<export_id>.0: family value (counter/gauge).
+[[nodiscard]] Oid tassl_telemetry_value(std::uint32_t export_id);
+
 }  // namespace oids
 
 }  // namespace collabqos::snmp

@@ -18,6 +18,17 @@ Manager::Manager(net::Network& network, net::NodeId node, Options options)
                              endpoint.error().message);
   }
   endpoint_ = std::move(endpoint).take();
+  auto& registry = telemetry::MetricsRegistry::global();
+  stats_.registrations.push_back(
+      registry.attach("snmp.manager.requests", stats_.requests));
+  stats_.registrations.push_back(
+      registry.attach("snmp.manager.responses", stats_.responses));
+  stats_.registrations.push_back(
+      registry.attach("snmp.manager.timeouts", stats_.timeouts));
+  stats_.registrations.push_back(
+      registry.attach("snmp.manager.retries", stats_.retries));
+  stats_.registrations.push_back(
+      registry.attach("snmp.manager.traps_received", stats_.traps_received));
   endpoint_->on_receive(
       [this](const net::Datagram& datagram) { on_datagram(datagram); });
 }

@@ -63,6 +63,16 @@ Oid tassl_page_faults() { return tassl_root().concat({1, 2, 0}); }
 Oid tassl_free_memory() { return tassl_root().concat({1, 3, 0}); }
 Oid tassl_if_utilization() { return tassl_root().concat({1, 4, 0}); }
 Oid tassl_bandwidth() { return tassl_root().concat({1, 5, 0}); }
+Oid tassl_telemetry_root() { return tassl_root().child(10); }
+Oid tassl_telemetry_count() {
+  return tassl_telemetry_root().concat({0, 0});
+}
+Oid tassl_telemetry_name(std::uint32_t export_id) {
+  return tassl_telemetry_root().concat({1, export_id, 0});
+}
+Oid tassl_telemetry_value(std::uint32_t export_id) {
+  return tassl_telemetry_root().concat({2, export_id, 0});
+}
 
 }  // namespace oids
 

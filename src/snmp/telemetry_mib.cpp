@@ -1,0 +1,37 @@
+#include "collabqos/snmp/telemetry_mib.hpp"
+
+#include <cmath>
+
+namespace collabqos::snmp {
+
+void install_telemetry_instrumentation(
+    Agent& agent, const telemetry::MetricsRegistry& registry) {
+  Mib& mib = agent.mib();
+  mib.add_provider(oids::tassl_telemetry_count(), [&registry] {
+    return Value::gauge(registry.family_count());
+  });
+  // Families and their export ids are never removed or renumbered, so a
+  // name captured here stays the right key for live value reads. The
+  // instruments behind it may come and go; the family sum follows.
+  for (const auto& [export_id, name] : registry.export_directory()) {
+    mib.add_provider(oids::tassl_telemetry_name(export_id),
+                     [name] { return Value::octets(name); });
+    const auto kind = [&registry, &name] {
+      for (const auto& sample : registry.snapshot()) {
+        if (sample.name == name) return sample.kind;
+      }
+      return telemetry::InstrumentKind::counter;
+    }();
+    mib.add_provider(
+        oids::tassl_telemetry_value(export_id), [&registry, name, kind] {
+          const double v = registry.read(name);
+          if (kind == telemetry::InstrumentKind::gauge) {
+            return Value::gauge(static_cast<std::uint64_t>(
+                std::llround(std::max(0.0, v))));
+          }
+          return Value::counter(static_cast<std::uint64_t>(v));
+        });
+  }
+}
+
+}  // namespace collabqos::snmp

@@ -1,0 +1,127 @@
+#include "collabqos/telemetry/trace.hpp"
+
+#include <cstdio>
+
+namespace collabqos::telemetry {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const std::string* Span::tag(std::string_view key) const noexcept {
+  for (const auto& [k, v] : tags) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_capacity(std::size_t capacity) {
+  std::scoped_lock lock(mutex_);
+  capacity_ = capacity > 0 ? capacity : 1;
+  while (spans_.size() > capacity_) {
+    spans_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Tracer::record(Span span) {
+  std::scoped_lock lock(mutex_);
+  if (spans_.size() >= capacity_) {
+    spans_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::size_t Tracer::size() const {
+  std::scoped_lock lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<Span> Tracer::drain() {
+  std::scoped_lock lock(mutex_);
+  std::vector<Span> out(std::make_move_iterator(spans_.begin()),
+                        std::make_move_iterator(spans_.end()));
+  spans_.clear();
+  return out;
+}
+
+void Tracer::clear() {
+  std::scoped_lock lock(mutex_);
+  spans_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string Tracer::to_jsonl(const Span& span) {
+  std::string out;
+  out.reserve(128 + span.tags.size() * 32);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "{\"trace\":\"%016llx\",",
+                static_cast<unsigned long long>(span.trace_id));
+  out += buf;
+  out += "\"name\":\"";
+  append_escaped(out, span.name);
+  std::snprintf(buf, sizeof(buf), "\",\"actor\":%llu,",
+                static_cast<unsigned long long>(span.actor));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "\"start_us\":%lld,\"end_us\":%lld",
+                static_cast<long long>(span.start.as_micros()),
+                static_cast<long long>(span.end.as_micros()));
+  out += buf;
+  if (!span.tags.empty()) {
+    out += ",\"tags\":{";
+    bool first = true;
+    for (const auto& [key, value] : span.tags) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      append_escaped(out, key);
+      out += "\":\"";
+      append_escaped(out, value);
+      out += '"';
+    }
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+Status Tracer::dump_jsonl(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status(Errc::resource_limit, "cannot open " + path);
+  }
+  for (const Span& span : drain()) {
+    const std::string line = to_jsonl(span);
+    std::fwrite(line.data(), 1, line.size(), file);
+    std::fputc('\n', file);
+  }
+  std::fclose(file);
+  return {};
+}
+
+}  // namespace collabqos::telemetry

@@ -1,13 +1,25 @@
 // Minimal leveled logger. The framework is a simulator, so logging is
 // synchronous and deterministic; a global level gate keeps hot paths cheap
 // (a disabled level costs one relaxed atomic load).
+//
+// Two observability hooks (DESIGN.md §9):
+//  * an optional registered sim::Clock prefixes every line with the
+//    virtual time ("[t=12.345s]"), so logs line up with trace spans;
+//  * an optional capture sink receives each formatted line instead of
+//    stderr, so tests assert on emitted lines rather than scraping
+//    streams.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <string_view>
+
+namespace collabqos::sim {
+class Clock;
+}  // namespace collabqos::sim
 
 namespace collabqos {
 
@@ -18,16 +30,30 @@ std::string_view to_string(LogLevel level) noexcept;
 /// Process-wide logging configuration.
 class Logging {
  public:
+  /// Receives each fully formatted line (no trailing newline).
+  using Sink = std::function<void(LogLevel level, std::string_view line)>;
+
   static void set_level(LogLevel level) noexcept;
   static LogLevel level() noexcept;
   /// True when `level` would currently be emitted.
   static bool enabled(LogLevel level) noexcept;
-  /// Emit one line: "[level] component: message".
+
+  /// Register a virtual clock; lines gain a "[t=12.345s]" prefix. Pass
+  /// nullptr to remove. The clock must outlive its registration.
+  static void set_clock(const sim::Clock* clock) noexcept;
+
+  /// Install a capture sink; emitted lines go to it instead of stderr.
+  /// Pass an empty function to restore stderr output.
+  static void set_sink(Sink sink);
+
+  /// Emit one line: "[t=12.345s] [level] component: message" (the time
+  /// prefix only with a registered clock).
   static void write(LogLevel level, std::string_view component,
                     std::string_view message);
 
  private:
   static std::atomic<LogLevel> level_;
+  static std::atomic<const sim::Clock*> clock_;
 };
 
 /// Stream-style log statement builder; emits on destruction.

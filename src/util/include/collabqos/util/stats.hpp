@@ -38,7 +38,8 @@ class SampleSet {
 
   [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
   [[nodiscard]] double mean() const noexcept;
-  /// Exact quantile by linear interpolation; q in [0,1]. Requires samples.
+  /// Exact quantile by linear interpolation; q in [0,1]. An empty set
+  /// yields 0.0 (not UB): bench/report code may probe before sampling.
   [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] double median() const { return quantile(0.5); }
   [[nodiscard]] const std::vector<double>& samples() const noexcept {

@@ -1,17 +1,28 @@
 #include "collabqos/util/logging.hpp"
 
+#include <cstdio>
 #include <iostream>
 #include <mutex>
+
+#include "collabqos/sim/time.hpp"
 
 namespace collabqos {
 
 std::atomic<LogLevel> Logging::level_{LogLevel::warn};
+std::atomic<const sim::Clock*> Logging::clock_{nullptr};
 
 namespace {
+
 std::mutex& sink_mutex() {
   static std::mutex m;
   return m;
 }
+
+Logging::Sink& sink_slot() {
+  static Logging::Sink sink;
+  return sink;
+}
+
 }  // namespace
 
 std::string_view to_string(LogLevel level) noexcept {
@@ -39,11 +50,37 @@ bool Logging::enabled(LogLevel level) noexcept {
          level != LogLevel::off;
 }
 
+void Logging::set_clock(const sim::Clock* clock) noexcept {
+  clock_.store(clock, std::memory_order_relaxed);
+}
+
+void Logging::set_sink(Sink sink) {
+  std::scoped_lock lock(sink_mutex());
+  sink_slot() = std::move(sink);
+}
+
 void Logging::write(LogLevel level, std::string_view component,
                     std::string_view message) {
+  std::string line;
+  line.reserve(24 + component.size() + message.size());
+  if (const sim::Clock* clock = clock_.load(std::memory_order_relaxed)) {
+    char prefix[32];
+    std::snprintf(prefix, sizeof(prefix), "[t=%.3fs] ",
+                  clock->now().as_seconds());
+    line += prefix;
+  }
+  line += '[';
+  line += to_string(level);
+  line += "] ";
+  line += component;
+  line += ": ";
+  line += message;
   std::scoped_lock lock(sink_mutex());
-  std::clog << '[' << to_string(level) << "] " << component << ": " << message
-            << '\n';
+  if (Sink& sink = sink_slot()) {
+    sink(level, line);
+    return;
+  }
+  std::clog << line << '\n';
 }
 
 }  // namespace collabqos

@@ -40,8 +40,10 @@ double SampleSet::mean() const noexcept {
 }
 
 double SampleSet::quantile(double q) const {
-  assert(!samples_.empty());
   assert(q >= 0.0 && q <= 1.0);
+  // An empty set has no order statistics; returning 0.0 keeps NDEBUG
+  // builds defined instead of indexing past the end.
+  if (samples_.empty()) return 0.0;
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;

@@ -2,9 +2,21 @@
 
 #include <algorithm>
 
+#include "collabqos/telemetry/metrics.hpp"
 #include "collabqos/util/decibel.hpp"
 
 namespace collabqos::wireless {
+
+namespace {
+
+// Registry-owned counters: managers are plain value members of the base
+// station and may be recreated per cell, so the process totals live in
+// the registry rather than per-instance attachments.
+telemetry::Counter& radio_counter(const char* name) {
+  return telemetry::MetricsRegistry::global().counter(name);
+}
+
+}  // namespace
 
 std::string_view to_string(ModalityGrade grade) noexcept {
   switch (grade) {
@@ -35,6 +47,8 @@ Status RadioResourceManager::join(StationId id, Position position,
   state.battery = battery;
   clients_.emplace(raw(id), state);
   channel_.upsert(id, Transmitter{position, tx_power_mw, true});
+  static telemetry::Counter& joins = radio_counter("wireless.radio.joins");
+  ++joins;
   return {};
 }
 
@@ -43,6 +57,8 @@ Status RadioResourceManager::leave(StationId id) {
     return Status(Errc::no_such_object, "unknown station");
   }
   channel_.remove(id);
+  static telemetry::Counter& leaves = radio_counter("wireless.radio.leaves");
+  ++leaves;
   return {};
 }
 
@@ -109,6 +125,12 @@ PowerControlOutcome RadioResourceManager::balance() {
   if (!params_.power_control_enabled) return {};
   const PowerControlOutcome outcome =
       run_power_control(channel_, params_.power_control);
+  static telemetry::Counter& runs =
+      radio_counter("wireless.radio.balance_runs");
+  static telemetry::Counter& iterations =
+      radio_counter("wireless.radio.power_iterations");
+  ++runs;
+  iterations += static_cast<std::uint64_t>(std::max(0, outcome.iterations));
   // Mirror the channel's converged powers back into client state.
   for (auto& [id, state] : clients_) {
     const auto transmitter = channel_.transmitter(make_station(id));
@@ -135,6 +157,9 @@ std::size_t RadioResourceManager::conserve_battery() {
       }
     }
   }
+  static telemetry::Counter& reductions =
+      radio_counter("wireless.radio.battery_power_reductions");
+  reductions += adjusted;
   return adjusted;
 }
 
@@ -146,6 +171,9 @@ void RadioResourceManager::advance_time(double seconds) {
         std::max(0.0, state.battery.remaining_mwh - drained_mwh);
     if (state.battery.remaining_mwh <= 0.0) {
       (void)channel_.set_transmitting(make_station(id), false);
+      static telemetry::Counter& depleted =
+          radio_counter("wireless.radio.batteries_depleted");
+      ++depleted;
     }
   }
 }
