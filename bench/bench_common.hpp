@@ -12,10 +12,60 @@
 #include "collabqos/core/basestation_peer.hpp"
 #include "collabqos/core/client.hpp"
 #include "collabqos/core/thin_client.hpp"
+#include "collabqos/observatory/trace_analysis.hpp"
 #include "collabqos/snmp/host_mib.hpp"
 #include "collabqos/telemetry/metrics.hpp"
+#include "collabqos/telemetry/trace.hpp"
 
 namespace collabqos::bench {
+
+/// Shared bench flags.
+///
+///   --observe  turn on the span tracer for the whole run; on exit the
+///              observatory's TraceAnalyzer prints the per-stage latency
+///              breakdown and writes Chrome trace-event JSON to
+///              TRACE_<bench>.json (open in Perfetto / chrome://tracing).
+///   --smoke    cheap CI mode: benches shrink their sweeps (see smoke()).
+class ObserveMode {
+ public:
+  ObserveMode(int argc, char** argv, std::string bench)
+      : bench_(std::move(bench)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--observe") observe_ = true;
+      if (arg == "--smoke") smoke_ = true;
+    }
+    if (observe_) {
+      telemetry::Tracer::global().set_capacity(1 << 18);
+      telemetry::Tracer::global().set_enabled(true);
+    }
+  }
+  ObserveMode(const ObserveMode&) = delete;
+  ObserveMode& operator=(const ObserveMode&) = delete;
+
+  ~ObserveMode() {
+    if (!observe_) return;
+    observatory::TraceAnalyzer analyzer;
+    analyzer.consume(telemetry::Tracer::global());
+    std::printf("\n%s", analyzer.report().to_text().c_str());
+    const std::string path = "TRACE_" + bench_ + ".json";
+    if (analyzer.dump_chrome_trace(path).ok()) {
+      std::printf("chrome trace written to %s\n", path.c_str());
+    }
+  }
+
+  [[nodiscard]] bool observe() const noexcept { return observe_; }
+  [[nodiscard]] bool smoke() const noexcept { return smoke_; }
+  /// Sweep step multiplier: smoke runs take coarser steps.
+  [[nodiscard]] int stride(int full, int smoke_stride) const noexcept {
+    return smoke_ ? smoke_stride : full;
+  }
+
+ private:
+  std::string bench_;
+  bool observe_ = false;
+  bool smoke_ = false;
+};
 
 /// One wired workstation with the full SNMP/adaptation stack.
 struct WiredStation {

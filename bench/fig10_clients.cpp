@@ -15,12 +15,15 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_report.hpp"
 #include "collabqos/wireless/basestation.hpp"
 
 using namespace collabqos;
 using wireless::make_station;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObserveMode mode(argc, argv, "fig10_clients");
+  bench::FigReport report_out("fig10_clients");
   constexpr wireless::StationId kA = make_station(1);
   constexpr wireless::StationId kB = make_station(2);
   constexpr wireless::StationId kC = make_station(3);
@@ -58,6 +61,12 @@ int main() {
     std::printf("%-26s %10.3f %12.2f %9.1f%%  %s\n", stage, sir,
                 manager.sir_db(kA).value(), drop * 100.0,
                 std::string(to_string(manager.grade(kA).value())).c_str());
+    report_out.add_row()
+        .set("stage", stage)
+        .set("sir_a", sir)
+        .set("sir_a_db", manager.sir_db(kA).value())
+        .set("drop_fraction", drop)
+        .set("grade_a", to_string(manager.grade(kA).value()));
     previous = sir;
   };
   report("A alone", 0.0);
@@ -91,6 +100,7 @@ int main() {
       "motivates (\"no transformation ... will improve performance\").\n",
       extra,
       std::string(to_string(manager.grade(kA).value())).c_str());
+  report_out.note("admission_limit_extra_clients", extra);
   collabqos::bench::print_metrics_snapshot();
-  return 0;
+  return report_out.write() ? 0 : 1;
 }

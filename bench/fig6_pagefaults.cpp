@@ -11,12 +11,15 @@
 // inference engine, and applied to a real progressive-coded 512x512
 // grayscale image shared over the multicast substrate.
 #include "bench_common.hpp"
+#include "bench_report.hpp"
 
 #include "collabqos/media/quality.hpp"
 
 using namespace collabqos;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObserveMode mode(argc, argv, "fig6_pagefaults");
+  bench::FigReport report_out("fig6_pagefaults");
   std::printf("Figure 6: ImageViewer parameters vs host page faults\n");
   std::printf("(paper ranges: packets 16->1, CR 3.6->131, BPP 2.1->0.1)\n");
   bench::print_rule();
@@ -27,7 +30,8 @@ int main() {
   const media::Image image =
       render_scene(media::make_crisis_scene(512, 512, 1));
 
-  for (int page_faults = 30; page_faults <= 100; page_faults += 5) {
+  for (int page_faults = 30; page_faults <= 100;
+       page_faults += mode.stride(5, 35)) {
     bench::Testbed bed;
     auto sender = bed.make_wired("sender", 1);
     auto receiver = bed.make_wired("receiver", 2);
@@ -49,11 +53,17 @@ int main() {
                 report.packets_used,
                 static_cast<double>(report.bytes_used) / 1024.0,
                 report.compression_ratio, report.bits_per_pixel);
+    report_out.add_row()
+        .set("page_faults", page_faults)
+        .set("packets", report.packets_used)
+        .set("kilobytes", static_cast<double>(report.bytes_used) / 1024.0)
+        .set("compression_ratio", report.compression_ratio)
+        .set("bits_per_pixel", report.bits_per_pixel);
   }
   bench::print_rule();
   std::printf(
       "shape check: packets non-increasing in powers of two; CR rises,\n"
       "BPP falls monotonically with page-fault pressure (cf. paper Fig 6).\n");
   bench::print_metrics_snapshot();
-  return 0;
+  return report_out.write() ? 0 : 1;
 }

@@ -5,12 +5,15 @@
 // baseline: 24/14.3 = 1.68 and 24/0.7 = 34.3 match the paper's endpoints).
 // At zero packets the viewer falls back to the textual description.
 #include "bench_common.hpp"
+#include "bench_report.hpp"
 
 #include "collabqos/media/quality.hpp"
 
 using namespace collabqos;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObserveMode mode(argc, argv, "fig7_cpuload");
+  bench::FigReport report_out("fig7_cpuload");
   std::printf("Figure 7: ImageViewer parameters vs CPU load (colour)\n");
   std::printf("(paper ranges: packets 16->0, CR 1.6->32.7, BPP 14.3->0.7)\n");
   bench::print_rule();
@@ -21,7 +24,7 @@ int main() {
   const media::Image image =
       render_scene(media::make_crisis_scene(512, 512, 3));
 
-  for (int cpu = 30; cpu <= 100; cpu += 5) {
+  for (int cpu = 30; cpu <= 100; cpu += mode.stride(5, 35)) {
     bench::Testbed bed;
     auto sender = bed.make_wired("sender", 1);
     auto receiver = bed.make_wired("receiver", 2);
@@ -45,11 +48,18 @@ int main() {
                 report.compression_ratio, report.bits_per_pixel,
                 std::string(media::to_string(report.presented_modality))
                     .c_str());
+    report_out.add_row()
+        .set("cpu_load", cpu)
+        .set("packets", report.packets_used)
+        .set("kilobytes", static_cast<double>(report.bytes_used) / 1024.0)
+        .set("compression_ratio", report.compression_ratio)
+        .set("bits_per_pixel", report.bits_per_pixel)
+        .set("presented", media::to_string(report.presented_modality));
   }
   bench::print_rule();
   std::printf(
       "shape check: packets fall to 0 at saturation (text fallback);\n"
       "CR rises and BPP falls monotonically with load (cf. paper Fig 7).\n");
   bench::print_metrics_snapshot();
-  return 0;
+  return report_out.write() ? 0 : 1;
 }

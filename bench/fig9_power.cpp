@@ -8,12 +8,15 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_report.hpp"
 #include "collabqos/wireless/channel.hpp"
 
 using namespace collabqos;
 using wireless::make_station;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObserveMode mode(argc, argv, "fig9_power");
+  bench::FigReport report_out("fig9_power");
   constexpr wireless::StationId kA = make_station(1);
   constexpr wireless::StationId kB = make_station(2);
 
@@ -47,6 +50,12 @@ int main() {
     last_net = net;
     std::printf("%6d %12.0f %10.2f %10.2f %14.2f\n", step, steps[step],
                 sir_a, sir_b, net);
+    report_out.add_row()
+        .set("step", step)
+        .set("power_a_mw", steps[step])
+        .set("sir_a_db", sir_a)
+        .set("sir_b_db", sir_b)
+        .set("net_sir_db", net);
   }
   for (int i = 0; i < 78; ++i) std::putchar('-');
   std::putchar('\n');
@@ -55,6 +64,7 @@ int main() {
       "net SIR moves %+.2f dB across a 32x power sweep — a weaker lever\n"
       "than the distance variation of Figure 8.\n",
       last_net - first_net);
+  report_out.note("net_sir_delta_db", last_net - first_net);
   collabqos::bench::print_metrics_snapshot();
-  return 0;
+  return report_out.write() ? 0 : 1;
 }

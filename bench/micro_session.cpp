@@ -24,7 +24,8 @@ struct Fixture {
     session = directory.create("bench", {}, {}).take();
     for (int i = 0; i < n_clients; ++i) {
       core::ClientConfig config;
-      config.name = "c" + std::to_string(i);
+      config.name = "c";
+      config.name += std::to_string(i);
       config.monitor_system_state = false;
       config.rtcp_interval = {};  // no timers: pure event cost
       core::InferenceEngine engine(core::QoSContract{},

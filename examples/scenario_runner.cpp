@@ -5,7 +5,7 @@
 //
 // Usage:
 //   scenario_runner [--wired N] [--wireless M] [--loss P] [--pf-ramp]
-//                   [--duration S] [--image N] [--seed K]
+//                   [--duration S] [--image N] [--seed K] [--observe]
 //
 //   --wired N      wired workstations (default 3)
 //   --wireless M   thin clients behind the base station (default 2)
@@ -14,6 +14,16 @@
 //   --duration S   simulated seconds (default 30)
 //   --image N      shared image edge length (default 256)
 //   --seed K       simulation seed (default 1)
+//   --observe      run the QoS Observatory alongside the scenario: a
+//                  dedicated observer node samples the local registry
+//                  every second AND walks wired client 1's telemetry
+//                  subtree over SNMP, evaluates SLO rules against both,
+//                  publishes alert transitions on the session substrate
+//                  (every client folds them into its inference inputs
+//                  and the decision audit log), and on exit prints the
+//                  trace-derived latency breakdown, writes Chrome trace
+//                  JSON to TRACE_scenario.json and the decision audit
+//                  to AUDIT_scenario.jsonl.
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -23,8 +33,14 @@
 #include "collabqos/app/image_viewer.hpp"
 #include "collabqos/core/basestation_peer.hpp"
 #include "collabqos/core/client.hpp"
+#include "collabqos/core/decision_audit.hpp"
 #include "collabqos/core/thin_client.hpp"
+#include "collabqos/observatory/alerts.hpp"
+#include "collabqos/observatory/series.hpp"
+#include "collabqos/observatory/trace_analysis.hpp"
 #include "collabqos/snmp/host_mib.hpp"
+#include "collabqos/snmp/telemetry_mib.hpp"
+#include "collabqos/telemetry/trace.hpp"
 #include "collabqos/util/string_util.hpp"
 
 using namespace collabqos;
@@ -39,6 +55,7 @@ struct Options {
   double duration_s = 30.0;
   int image = 256;
   std::uint64_t seed = 1;
+  bool observe = false;
 };
 
 bool parse_args(int argc, char** argv, Options& options) {
@@ -66,6 +83,8 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.image = static_cast<int>(value);
     } else if (arg == "--seed" && next_number(value)) {
       options.seed = static_cast<std::uint64_t>(value);
+    } else if (arg == "--observe") {
+      options.observe = true;
     } else {
       std::fprintf(stderr, "unknown or malformed argument: %s\n",
                    std::string(arg).c_str());
@@ -160,6 +179,76 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Observatory (--observe): sampler + alert engine + tracing on a
+  // dedicated observer node, closing the loop back into the clients.
+  struct Observatory {
+    net::NodeId node{};
+    std::unique_ptr<snmp::Manager> manager;
+    std::unique_ptr<pubsub::SemanticPeer> peer;
+    std::unique_ptr<observatory::TimeSeriesSampler> sampler;
+    std::unique_ptr<observatory::AlertEngine> engine;
+  };
+  Observatory obs;
+  const std::string watched_host =
+      options.observe ? wired[victim].client->name() : std::string();
+  if (options.observe) {
+    telemetry::Tracer::global().set_capacity(std::size_t{1} << 18);
+    telemetry::Tracer::global().set_enabled(true);
+    core::DecisionAuditLog::global().set_enabled(true);
+
+    // The watched station exports its telemetry registry over SNMP; the
+    // observer walks it like any other managed device (paper §5.5).
+    snmp::install_telemetry_instrumentation(*wired[victim].agent);
+
+    obs.node = network.add_node("observer");
+    obs.manager = std::make_unique<snmp::Manager>(network, obs.node);
+    obs.peer = std::make_unique<pubsub::SemanticPeer>(
+        network, obs.node, session.group, 999);
+    obs.sampler = std::make_unique<observatory::TimeSeriesSampler>(
+        simulator, telemetry::MetricsRegistry::global());
+    obs.sampler->add_remote(watched_host, *obs.manager, wired[victim].node,
+                            "public");
+    obs.engine = std::make_unique<observatory::AlertEngine>(*obs.sampler);
+    obs.engine->publish_via(obs.peer.get());
+
+    // SLO rules over the sampled series. The periodic image shares are
+    // the injected load: carried bytes/s trips traffic-surge, loss
+    // injection trips delivery-incomplete, and a dead management plane
+    // on the watched station trips telemetry-silent.
+    observatory::SloRule rule;
+    rule.name = "traffic-surge";
+    rule.metric = "net.bytes.delivered";
+    rule.signal = observatory::Signal::rate;
+    rule.warning = 16.0 * 1024.0;   // bytes/s
+    rule.critical = 256.0 * 1024.0;
+    rule.for_duration = sim::Duration::seconds(2.0);
+    rule.clear_duration = sim::Duration::seconds(4.0);
+    obs.engine->add_rule(rule);
+
+    rule = observatory::SloRule{};
+    rule.name = "delivery-incomplete";
+    rule.metric = "pubsub.peer.incomplete_dropped";
+    rule.signal = observatory::Signal::rate;
+    rule.warning = 0.05;   // any sustained drop rate
+    rule.critical = 2.0;
+    rule.for_duration = sim::Duration::seconds(1.0);
+    rule.clear_duration = sim::Duration::seconds(4.0);
+    obs.engine->add_rule(rule);
+
+    rule = observatory::SloRule{};
+    rule.name = "telemetry-silent";
+    rule.metric = "snmp.agent.responses";
+    rule.host = watched_host;
+    rule.kind = observatory::RuleKind::absence;
+    rule.warning = 3.0;   // seconds without a walked sample
+    rule.critical = 10.0;
+    // Damp the cold start: the first walk needs a round trip to land.
+    rule.for_duration = sim::Duration::seconds(2.0);
+    obs.engine->add_rule(rule);
+
+    obs.sampler->start();
+  }
+
   // Drive: wired-1 shares an image every 2 simulated seconds.
   const media::Image image = render_scene(
       media::make_crisis_scene(options.image, options.image, 1),
@@ -235,6 +324,77 @@ int main(int argc, char** argv) {
                     base_station->stats().suppressed_by_grade),
                 static_cast<unsigned long long>(
                     base_station->stats().suppressed_by_profile));
+  }
+
+  // ---- observatory report -----------------------------------------------
+  if (options.observe) {
+    obs.sampler->stop();
+    for (int i = 0; i < 78; ++i) std::putchar('-');
+    std::putchar('\n');
+    const auto sampler_stats = obs.sampler->stats();
+    std::printf(
+        "observatory: %llu ticks, %llu local points, %zu series; "
+        "%llu walks of %s (%llu points, %llu failures)\n",
+        static_cast<unsigned long long>(sampler_stats.ticks),
+        static_cast<unsigned long long>(sampler_stats.local_points),
+        obs.sampler->series_count(),
+        static_cast<unsigned long long>(sampler_stats.remote_walks),
+        watched_host.c_str(),
+        static_cast<unsigned long long>(sampler_stats.remote_points),
+        static_cast<unsigned long long>(sampler_stats.remote_failures));
+    if (const auto* series =
+            obs.sampler->find("", "net.bytes.delivered")) {
+      std::printf("net.bytes.delivered: %.0f B total, %.0f B/s peak "
+                  "(%zu points)\n",
+                  series->back().value,
+                  series->max_rate_over(sim::Duration::seconds(
+                      options.duration_s)),
+                  series->size());
+    }
+
+    const auto engine_stats = obs.engine->stats();
+    std::printf("alerts: %llu raised, %llu cleared, %llu published, "
+                "%zu active at end\n",
+                static_cast<unsigned long long>(engine_stats.raised),
+                static_cast<unsigned long long>(engine_stats.cleared),
+                static_cast<unsigned long long>(engine_stats.published),
+                obs.engine->active());
+    for (const auto& t : obs.engine->history()) {
+      std::printf("  t=%7.2fs  %-20s %-8s -> %-8s (%s%s%s = %.1f)\n",
+                  t.time.as_seconds(), t.rule.c_str(),
+                  std::string(to_string(t.from)).c_str(),
+                  std::string(to_string(t.to)).c_str(), t.metric.c_str(),
+                  t.host.empty() ? "" : "@", t.host.c_str(), t.value);
+    }
+
+    // Decisions that saw an alert attribute: the closed loop's receipt.
+    auto records = core::DecisionAuditLog::global().drain();
+    std::size_t alerted_decisions = 0;
+    for (const auto& record : records) {
+      for (const auto& entry : record.inputs) {
+        if (entry.name().rfind("alert.", 0) == 0) {
+          ++alerted_decisions;
+          break;
+        }
+      }
+    }
+    std::printf("decision audit: %zu records, %zu with alert inputs -> "
+                "AUDIT_scenario.jsonl\n",
+                records.size(), alerted_decisions);
+    if (std::FILE* audit = std::fopen("AUDIT_scenario.jsonl", "w")) {
+      for (const auto& record : records) {
+        std::fprintf(audit, "%s\n",
+                     core::DecisionAuditLog::to_jsonl(record).c_str());
+      }
+      std::fclose(audit);
+    }
+
+    observatory::TraceAnalyzer analyzer;
+    analyzer.consume(telemetry::Tracer::global());
+    std::printf("\n%s", analyzer.report().to_text().c_str());
+    if (analyzer.dump_chrome_trace("TRACE_scenario.json").ok()) {
+      std::printf("chrome trace written to TRACE_scenario.json\n");
+    }
   }
   return 0;
 }

@@ -75,6 +75,7 @@ void CollaborationClient::refresh_decision() {
   pubsub::AttributeSet state =
       state_interface_ ? state_interface_->state() : pubsub::AttributeSet{};
   state.merge(network_state_);
+  state.merge(alert_state_);
   last_decision_ = engine_.decide(state);
   CQ_TRACE(kComponent) << config_.name << " decision: packets="
                        << last_decision_.packets << " modality="
@@ -154,6 +155,26 @@ void CollaborationClient::on_message(const pubsub::SemanticMessage& message,
   if (message.event_type == events::kState) {
     auto entry = StateEntry::decode(message.payload);
     if (entry) repository_.apply(std::move(entry).take());
+    return;
+  }
+  if (message.event_type == events::kAlert) {
+    // Observatory SLO alerts become inference inputs: one attribute per
+    // raised rule, cleared when the alert returns to ok. The next
+    // refresh_decision() merges them into the audit-logged inputs.
+    const auto* rule = message.content.find("rule");
+    const auto* severity = message.content.find("severity");
+    if (rule == nullptr || severity == nullptr) return;
+    const auto rule_name = rule->as_string();
+    const auto severity_name = severity->as_string();
+    if (!rule_name || !severity_name) return;
+    std::string key = "alert.";
+    key += *rule_name;
+    if (*severity_name == "ok") {
+      alert_state_.erase(key);
+    } else {
+      alert_state_.set(key, std::string(*severity_name));
+    }
+    refresh_decision();
     return;
   }
   if (message.event_type != events::kMedia) {

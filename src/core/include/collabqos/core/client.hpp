@@ -120,6 +120,15 @@ class CollaborationClient {
     return network_state_;
   }
 
+  /// Active SLO alerts received over the session substrate (one
+  /// "alert.<rule>" attribute per raised alert, value = severity;
+  /// cleared alerts are erased). Merged into every inference input, so
+  /// observatory alerts show up in the DecisionAuditLog next to SNMP
+  /// load and RTCP loss.
+  [[nodiscard]] const pubsub::AttributeSet& alert_state() const noexcept {
+    return alert_state_;
+  }
+
  private:
   void on_message(const pubsub::SemanticMessage& message,
                   const pubsub::MatchDecision& decision);
@@ -133,6 +142,7 @@ class CollaborationClient {
   std::unique_ptr<SystemStateInterface> state_interface_;
   std::unique_ptr<sim::PeriodicTimer> rtcp_timer_;
   pubsub::AttributeSet network_state_;
+  pubsub::AttributeSet alert_state_;
   Ewma loss_estimate_{0.3};     ///< smoothed worst-path loss fraction
   Ewma jitter_estimate_{0.3};   ///< smoothed worst-path jitter (us)
   InferenceEngine engine_;

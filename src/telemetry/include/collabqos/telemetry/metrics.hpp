@@ -28,6 +28,7 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -141,6 +142,19 @@ struct MetricSample {
   double p99 = 0.0;         ///< histograms only (estimate)
 };
 
+/// Allocation-free per-family view handed to MetricsRegistry::visit.
+/// `name` points into registry storage and is valid only for the
+/// duration of the callback.
+struct MetricView {
+  std::string_view name;
+  InstrumentKind kind = InstrumentKind::counter;
+  double value = 0.0;       ///< as MetricSample::value
+  std::uint64_t count = 0;  ///< histograms only: number of observations
+  double p50 = 0.0;         ///< histograms only (estimate)
+  double p95 = 0.0;         ///< histograms only (estimate)
+  double p99 = 0.0;         ///< histograms only (estimate)
+};
+
 class MetricsRegistry;
 
 /// RAII attachment token: detaches the instrument from its family on
@@ -196,6 +210,12 @@ class MetricsRegistry {
   /// All families, name-sorted. O(1) per family: a handful of relaxed
   /// loads, no coordination with writers.
   [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+  /// Visitor form of snapshot(): one callback per family in name order,
+  /// no per-family string allocation — the periodic sampler's read path.
+  /// The registry mutex is held across the sweep; the visitor must not
+  /// call back into this registry.
+  void visit(const std::function<void(const MetricView&)>& fn) const;
 
   /// Stable small-integer id for SNMP export arcs. Assigned on family
   /// creation, never reused or reordered within the process.

@@ -22,9 +22,14 @@
 #include <vector>
 
 #include "collabqos/sim/time.hpp"
+#include "collabqos/telemetry/metrics.hpp"
 #include "collabqos/util/result.hpp"
 
 namespace collabqos::telemetry {
+
+/// `text` with JSON string escaping applied (quotes, backslashes and
+/// control characters; the escaping to_jsonl uses for tag values).
+[[nodiscard]] std::string json_escape(std::string_view text);
 
 /// Trace identity of one semantic message: the sender's 32-bit stream id
 /// (ssrc == peer id) and its 32-bit transport timestamp (== sequence).
@@ -50,6 +55,11 @@ class Tracer {
  public:
   static constexpr std::size_t kDefaultCapacity = 65536;
 
+  /// Overflow drops are counted per instance and summed into the
+  /// registry family "tracer.spans_dropped", so a truncated trace is
+  /// visible to the observatory (and never read as complete).
+  Tracer();
+
   [[nodiscard]] static Tracer& global();
 
   [[nodiscard]] bool enabled() const noexcept {
@@ -65,7 +75,7 @@ class Tracer {
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t dropped() const noexcept {
-    return dropped_.load(std::memory_order_relaxed);
+    return dropped_.value();
   }
 
   /// Move all collected spans out (oldest first) and clear the ring.
@@ -79,7 +89,8 @@ class Tracer {
 
  private:
   std::atomic<bool> enabled_{false};
-  std::atomic<std::uint64_t> dropped_{0};
+  Counter dropped_;
+  Registration dropped_registration_;
   mutable std::mutex mutex_;
   std::deque<Span> spans_;
   std::size_t capacity_ = kDefaultCapacity;

@@ -261,6 +261,31 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
   return samples;
 }
 
+void MetricsRegistry::visit(
+    const std::function<void(const MetricView&)>& fn) const {
+  std::scoped_lock lock(mutex_);
+  for (const auto& [name, family] : families_) {
+    MetricView view;
+    view.name = name;
+    view.kind = family.kind;
+    if (family.kind == InstrumentKind::histogram) {
+      for (const Attachment& a : family.attached) {
+        const auto* histogram = static_cast<const Histogram*>(a.instrument);
+        view.count += histogram->count();
+        view.value += histogram->sum();
+        if (histogram->count() > 0) {
+          view.p50 = histogram->quantile(0.5);
+          view.p95 = histogram->quantile(0.95);
+          view.p99 = histogram->quantile(0.99);
+        }
+      }
+    } else {
+      view.value = family_value(family);
+    }
+    fn(view);
+  }
+}
+
 std::uint32_t MetricsRegistry::export_id(std::string_view name) const {
   std::scoped_lock lock(mutex_);
   const auto it = families_.find(name);

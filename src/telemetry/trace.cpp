@@ -27,12 +27,23 @@ void append_escaped(std::string& out, std::string_view text) {
 
 }  // namespace
 
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  append_escaped(out, text);
+  return out;
+}
+
 const std::string* Span::tag(std::string_view key) const noexcept {
   for (const auto& [k, v] : tags) {
     if (k == key) return &v;
   }
   return nullptr;
 }
+
+Tracer::Tracer()
+    : dropped_registration_(MetricsRegistry::global().attach(
+          "tracer.spans_dropped", dropped_)) {}
 
 Tracer& Tracer::global() {
   static Tracer tracer;
@@ -44,7 +55,7 @@ void Tracer::set_capacity(std::size_t capacity) {
   capacity_ = capacity > 0 ? capacity : 1;
   while (spans_.size() > capacity_) {
     spans_.pop_front();
-    dropped_.fetch_add(1, std::memory_order_relaxed);
+    ++dropped_;
   }
 }
 
@@ -52,7 +63,7 @@ void Tracer::record(Span span) {
   std::scoped_lock lock(mutex_);
   if (spans_.size() >= capacity_) {
     spans_.pop_front();
-    dropped_.fetch_add(1, std::memory_order_relaxed);
+    ++dropped_;
   }
   spans_.push_back(std::move(span));
 }
@@ -73,7 +84,7 @@ std::vector<Span> Tracer::drain() {
 void Tracer::clear() {
   std::scoped_lock lock(mutex_);
   spans_.clear();
-  dropped_.store(0, std::memory_order_relaxed);
+  dropped_.reset();
 }
 
 std::string Tracer::to_jsonl(const Span& span) {

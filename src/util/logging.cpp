@@ -75,12 +75,19 @@ void Logging::write(LogLevel level, std::string_view component,
   line += component;
   line += ": ";
   line += message;
-  std::scoped_lock lock(sink_mutex());
-  if (Sink& sink = sink_slot()) {
-    sink(level, line);
-    return;
+  // Copy the sink out, then invoke it unlocked: a sink that itself logs
+  // (a capture sink asserting via a logging helper, say) re-enters
+  // write() and must not find the mutex held.
+  Sink sink;
+  {
+    std::scoped_lock lock(sink_mutex());
+    sink = sink_slot();
+    if (!sink) {
+      std::clog << line << '\n';
+      return;
+    }
   }
-  std::clog << line << '\n';
+  sink(level, line);
 }
 
 }  // namespace collabqos

@@ -179,6 +179,23 @@ TEST(Tracer, SpanJsonlCarriesIdentityTimesAndTags) {
   EXPECT_EQ(span.tag("missing"), nullptr);
 }
 
+TEST(Tracer, JsonlEscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(telemetry::json_escape("plain"), "plain");
+  EXPECT_EQ(telemetry::json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(telemetry::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(telemetry::json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(telemetry::json_escape(std::string_view("\x01", 1)), "\\u0001");
+
+  telemetry::Span span;
+  span.name = "stage \"quoted\"";
+  span.tags.emplace_back("path", "C:\\tmp\nnext");
+  const std::string line = telemetry::Tracer::to_jsonl(span);
+  EXPECT_NE(line.find("stage \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(line.find("C:\\\\tmp\\nnext"), std::string::npos);
+  // The escaped record is a single line with no raw control characters.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
 TEST(MakeTraceId, ConcatenatesSsrcAndTimestamp) {
   EXPECT_EQ(telemetry::make_trace_id(0, 0), 0u);
   EXPECT_EQ(telemetry::make_trace_id(1, 2), (1ull << 32) | 2u);
@@ -211,6 +228,28 @@ TEST(DecisionAuditLog, RecordsRoundTripToJsonl) {
   EXPECT_NE(line.find("\"max_packets\":16"), std::string::npos);
   EXPECT_NE(line.find("\"packets\":4"), std::string::npos);
   EXPECT_NE(line.find("cpu-ladder"), std::string::npos);
+  audit.set_enabled(false);
+}
+
+TEST(DecisionAuditLog, RingBoundDropsOldestAndCounts) {
+  auto& audit = core::DecisionAuditLog::global();
+  audit.clear();
+  audit.set_enabled(true);
+  audit.set_capacity(2);
+  const std::uint64_t dropped_baseline = audit.dropped();
+  for (int i = 0; i < 5; ++i) {
+    core::DecisionRecord record;
+    record.client = "c";
+    record.client += std::to_string(i);
+    audit.record(std::move(record));
+  }
+  EXPECT_EQ(audit.size(), 2u);
+  EXPECT_EQ(audit.dropped() - dropped_baseline, 3u);
+  const auto records = audit.drain();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].client, "c3");
+  EXPECT_EQ(records[1].client, "c4");
+  audit.set_capacity(core::DecisionAuditLog::kDefaultCapacity);
   audit.set_enabled(false);
 }
 
