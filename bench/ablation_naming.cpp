@@ -118,7 +118,7 @@ Row measure(int n_clients) {
     const std::uint64_t sent_before = network.stats().datagrams_sent;
     pubsub::SemanticMessage message;
     message.event_type = "data";
-    message.payload = serde::Bytes(1024, 0x42);
+    message.payload = serde::ByteChain(serde::Bytes(1024, 0x42));
     (void)peers[0]->publish(std::move(message));
     sim.run_all();
     // Sender-side serialisations (what the sender's uplink carries):

@@ -43,7 +43,8 @@ Outcome run(double loss, int nack_attempts, int messages = 40) {
   for (int i = 0; i < messages; ++i) {
     pubsub::SemanticMessage message;
     message.event_type = "media.share";
-    message.payload = serde::Bytes(28'000, 0x5A);  // ~21 fragments
+    message.payload =
+        serde::ByteChain(serde::Bytes(28'000, 0x5A));  // ~21 fragments
     (void)sender->publish(std::move(message));
     sim.run_until(sim.now() + sim::Duration::seconds(3.0));
   }

@@ -151,4 +151,18 @@ inline void print_metrics_snapshot() {
   }
 }
 
+/// Print just the pipeline.bytes_copied.* family: where payload bytes
+/// were materialised during the run (DESIGN.md §11). Zero-valued sites
+/// are printed too — "this site copied nothing" is the claim the
+/// zero-copy pipeline makes, so its absence should be visible.
+inline void print_pipeline_copies() {
+  const auto samples = telemetry::MetricsRegistry::global().snapshot();
+  std::printf("\npipeline copy accounting (bytes materialised)\n");
+  print_rule();
+  for (const auto& sample : samples) {
+    if (sample.name.rfind("pipeline.bytes_copied.", 0) != 0) continue;
+    std::printf("%-44s %.0f\n", sample.name.c_str(), sample.value);
+  }
+}
+
 }  // namespace collabqos::bench

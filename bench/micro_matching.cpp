@@ -93,7 +93,7 @@ SemanticMessage make_message() {
   message.event_type = "map.update";
   message.sender_id = 7;
   message.sequence = 1;
-  message.payload = serde::Bytes(16, 0x5A);
+  message.payload = serde::ByteChain(serde::Bytes(16, 0x5A));
   return message;
 }
 
@@ -155,7 +155,7 @@ int main() {
 
   const Profile profile = make_profile();
   const SemanticMessage message = make_message();
-  const serde::Bytes wire = message.encode();
+  const serde::SharedBytes wire = message.encode();
 
   std::vector<Measurement> results;
   results.push_back(time_workload("selector_match_compiled", [&] {

@@ -1,0 +1,174 @@
+// Zero-copy pipeline microbench: payload bytes materialised per
+// delivered message, legacy copy path vs zero-copy view path
+// (DESIGN.md §11).
+//
+// Both variants drive the real layer APIs over the same messages at
+// MTU-sized fragmentation with a configurable receiver fan-out:
+//
+//   legacy:    encode -> packetize(span)      -> RtpPacket::encode()
+//              -> decode(span) -> reassemble() -> decode(span)
+//   zero-copy: encode -> packetize_views      -> RtpPacket::wire()
+//              -> decode(chain) -> payload_chain() -> decode(chain)
+//
+// The copy volume is read from the pipeline.bytes_copied.* counter
+// family, i.e. the same accounting the trace spans and the observatory
+// report — the bench verifies the instrument as much as the refactor.
+// Results land in BENCH_pipeline.json (merged line-wise with the other
+// bench entries).
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bench_report.hpp"
+#include "collabqos/net/rtp.hpp"
+#include "collabqos/pubsub/message.hpp"
+#include "collabqos/telemetry/pipeline.hpp"
+
+using namespace collabqos;
+
+namespace {
+
+constexpr std::size_t kMtu = 1400;   // fragment payload on the wire
+constexpr int kReceivers = 8;        // multicast fan-out per message
+
+pubsub::SemanticMessage make_message(std::size_t payload_bytes) {
+  pubsub::SemanticMessage message;
+  message.content.set("media.type", "image");
+  message.event_type = "bench.pipeline";
+  message.sender_id = 1;
+  message.payload = serde::ByteChain(serde::Bytes(payload_bytes, 0x5A));
+  return message;
+}
+
+struct RunResult {
+  std::uint64_t bytes_copied = 0;  ///< pipeline.bytes_copied.total delta
+  std::size_t delivered = 0;       ///< messages decoded across receivers
+  double wall_us = 0.0;
+};
+
+template <typename PerMessage>
+RunResult run_variant(int messages, PerMessage per_message) {
+  auto& copies = telemetry::PipelineCounters::global();
+  RunResult result;
+  const std::uint64_t before = copies.total();
+  const auto start = std::chrono::steady_clock::now();
+  for (int m = 0; m < messages; ++m) {
+    result.delivered += per_message(static_cast<std::uint32_t>(m + 1));
+  }
+  result.wall_us = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  result.bytes_copied = copies.total() - before;
+  return result;
+}
+
+/// The pre-refactor shape: every layer boundary re-materialises the
+/// payload (packetize copies, per-packet encode copies, per-receiver
+/// decode + reassemble + message decode copy).
+RunResult run_legacy(std::size_t payload_bytes, int messages) {
+  const pubsub::SemanticMessage message = make_message(payload_bytes);
+  return run_variant(messages, [&message](std::uint32_t ts) {
+    net::RtpPacketizer packetizer(1, kMtu);
+    const serde::SharedBytes encoded = message.encode();
+    const auto packets = packetizer.packetize(encoded, 96, ts);
+    std::vector<serde::Bytes> wires;
+    wires.reserve(packets.size());
+    for (const auto& packet : packets) wires.push_back(packet.encode());
+    std::size_t delivered = 0;
+    for (int rx = 0; rx < kReceivers; ++rx) {
+      net::RtpReceiver receiver;
+      receiver.on_object([&delivered](const net::RtpObject& object) {
+        const serde::Bytes bytes = object.reassemble();
+        if (pubsub::SemanticMessage::decode(bytes).ok()) ++delivered;
+      });
+      for (const auto& wire : wires) (void)receiver.ingest(wire, {});
+    }
+    return delivered;
+  });
+}
+
+/// The zero-copy pipeline: one encode, views the rest of the way.
+RunResult run_zero_copy(std::size_t payload_bytes, int messages) {
+  const pubsub::SemanticMessage message = make_message(payload_bytes);
+  return run_variant(messages, [&message](std::uint32_t ts) {
+    net::RtpPacketizer packetizer(1, kMtu);
+    const serde::SharedBytes encoded = message.encode();
+    const auto packets = packetizer.packetize_views(encoded, 96, ts);
+    std::vector<serde::ByteChain> wires;
+    wires.reserve(packets.size());
+    for (const auto& packet : packets) wires.push_back(packet.wire());
+    std::size_t delivered = 0;
+    for (int rx = 0; rx < kReceivers; ++rx) {
+      net::RtpReceiver receiver;
+      receiver.on_object([&delivered](const net::RtpObject& object) {
+        if (pubsub::SemanticMessage::decode(object.payload_chain()).ok()) {
+          ++delivered;
+        }
+      });
+      for (const auto& wire : wires) (void)receiver.ingest(wire, {});
+    }
+    return delivered;
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ObserveMode mode(argc, argv, "micro_pipeline");
+  const int messages = mode.smoke() ? 4 : 32;
+  const std::vector<std::size_t> sizes =
+      mode.smoke() ? std::vector<std::size_t>{16'000}
+                   : std::vector<std::size_t>{2'000, 16'000, 48'000};
+
+  std::printf("payload bytes copied per delivered message "
+              "(MTU %zu, %d receivers, %d messages)\n",
+              kMtu, kReceivers, messages);
+  bench::print_rule();
+  std::printf("%10s %12s %14s %14s %8s\n", "payload", "path",
+              "copied/deliv", "us/message", "ratio");
+
+  bench::FigReport report("micro_pipeline");
+  double min_ratio = 0.0;
+  for (const std::size_t size : sizes) {
+    const RunResult legacy = run_legacy(size, messages);
+    const RunResult zero = run_zero_copy(size, messages);
+    const auto per_delivery = [](const RunResult& r) {
+      return r.delivered > 0
+                 ? static_cast<double>(r.bytes_copied) /
+                       static_cast<double>(r.delivered)
+                 : 0.0;
+    };
+    const double ratio = per_delivery(zero) > 0.0
+                             ? per_delivery(legacy) / per_delivery(zero)
+                             : 0.0;
+    if (min_ratio == 0.0 || ratio < min_ratio) min_ratio = ratio;
+    std::printf("%10zu %12s %14.0f %14.1f %8s\n", size, "legacy",
+                per_delivery(legacy), legacy.wall_us / messages, "");
+    std::printf("%10zu %12s %14.0f %14.1f %7.1fx\n", size, "zero-copy",
+                per_delivery(zero), zero.wall_us / messages, ratio);
+    report.add_row()
+        .set("payload_bytes", static_cast<double>(size))
+        .set("legacy_copied_per_delivery", per_delivery(legacy))
+        .set("zero_copy_copied_per_delivery", per_delivery(zero))
+        .set("legacy_us_per_message", legacy.wall_us / messages)
+        .set("zero_copy_us_per_message", zero.wall_us / messages)
+        .set("copy_reduction", ratio);
+  }
+  report.note("mtu", static_cast<double>(kMtu))
+      .note("receivers", kReceivers)
+      .note("messages", messages)
+      .note("min_copy_reduction", min_ratio)
+      .note("target_min_copy_reduction", 5.0);
+  if (report.write("BENCH_pipeline.json")) {
+    std::printf("\nreport written to BENCH_pipeline.json\n");
+  }
+
+  bench::print_pipeline_copies();
+  if (min_ratio < 5.0) {
+    std::fprintf(stderr, "FAIL: copy reduction %.1fx below 5x target\n",
+                 min_ratio);
+    return 1;
+  }
+  return 0;
+}

@@ -69,9 +69,10 @@ void BM_MessageCodec(benchmark::State& state) {
       pubsub::Selector::parse("a == 1 and b == 'two' or c >= 3.5").take();
   message.content.set("media.type", "image");
   message.event_type = "media.share";
-  message.payload.assign(static_cast<std::size_t>(state.range(0)), 0x5A);
+  message.payload = serde::ByteChain(
+      serde::Bytes(static_cast<std::size_t>(state.range(0)), 0x5A));
   for (auto _ : state) {
-    const serde::Bytes bytes = message.encode();
+    const serde::SharedBytes bytes = message.encode();
     auto decoded = pubsub::SemanticMessage::decode(bytes);
     benchmark::DoNotOptimize(decoded);
   }

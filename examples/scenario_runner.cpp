@@ -235,6 +235,22 @@ int main(int argc, char** argv) {
     rule.clear_duration = sim::Duration::seconds(4.0);
     obs.engine->add_rule(rule);
 
+    // A healthy zero-copy pipeline materialises each payload roughly
+    // once (at message encode), so copied bytes/s tracks the publish
+    // rate, far below the carried-traffic rate. A sustained climb means
+    // some layer went back to re-materialising payloads (gather
+    // fallbacks, legacy span paths) — copy amplification (DESIGN.md
+    // §11).
+    rule = observatory::SloRule{};
+    rule.name = "copy-amplification";
+    rule.metric = "pipeline.bytes_copied.total";
+    rule.signal = observatory::Signal::rate;
+    rule.warning = 64.0 * 1024.0;    // bytes/s materialised
+    rule.critical = 512.0 * 1024.0;
+    rule.for_duration = sim::Duration::seconds(2.0);
+    rule.clear_duration = sim::Duration::seconds(4.0);
+    obs.engine->add_rule(rule);
+
     rule = observatory::SloRule{};
     rule.name = "telemetry-silent";
     rule.metric = "snmp.agent.responses";
@@ -350,6 +366,14 @@ int main(int argc, char** argv) {
                   series->max_rate_over(sim::Duration::seconds(
                       options.duration_s)),
                   series->size());
+    }
+    if (const auto* series =
+            obs.sampler->find("", "pipeline.bytes_copied.total")) {
+      std::printf("pipeline.bytes_copied.total: %.0f B materialised, "
+                  "%.0f B/s peak (copy amplification watch)\n",
+                  series->back().value,
+                  series->max_rate_over(sim::Duration::seconds(
+                      options.duration_s)));
     }
 
     const auto engine_stats = obs.engine->stats();

@@ -222,7 +222,7 @@ void BaseStationPeer::forward_to_client(
                            << adapted.error().message;
       return;
     }
-    outgoing.payload = adapted.value().first.encode();
+    outgoing.payload = serde::ByteChain(adapted.value().first.encode());
     outgoing.content.set(
         "media.modality",
         std::string(media::to_string(adapted.value().first.modality())));
@@ -263,7 +263,7 @@ void BaseStationPeer::on_uplink(const pubsub::SemanticMessage& message,
       if (decision.modality != media::Modality::image) decision.packets = 0;
       auto adapted = adapt_media(object.value(), decision, transformers_);
       if (adapted) {
-        relayed.payload = adapted.value().first.encode();
+        relayed.payload = serde::ByteChain(adapted.value().first.encode());
         relayed.content.set("media.modality",
                             std::string(media::to_string(
                                 adapted.value().first.modality())));

@@ -102,7 +102,7 @@ Status CollaborationClient::share_media(const media::MediaObject& object,
   message.content.set("media.modality",
                       std::string(media::to_string(object.modality())));
   message.event_type = std::string(events::kMedia);
-  message.payload = object.encode();
+  message.payload = serde::ByteChain(object.encode());
   if (!object_id.empty()) {
     message.content.set("object.id", std::move(object_id));
   }
@@ -117,7 +117,7 @@ Status CollaborationClient::publish_operation(std::string object_id,
   concurrency_.integrate(op);  // local echo (multicast loopback is off)
   pubsub::SemanticMessage message;
   message.event_type = std::string(events::kOperation);
-  message.payload = op.encode();
+  message.payload = serde::ByteChain(op.encode());
   message.content.set("op.kind", op.kind);
   message.content.set("object.id", op.object_id);
   return peer_->publish(std::move(message));

@@ -1,5 +1,7 @@
 #include "collabqos/core/concurrency.hpp"
 
+#include "collabqos/telemetry/pipeline.hpp"
+
 namespace collabqos::core {
 
 serde::Bytes Operation::encode() const {
@@ -31,6 +33,12 @@ Result<Operation> Operation::decode(std::span<const std::uint8_t> bytes) {
   if (!payload) return payload.error();
   op.payload = std::move(payload).take();
   return op;
+}
+
+Result<Operation> Operation::decode(const serde::ByteChain& bytes) {
+  const serde::SharedBytes flat = telemetry::flatten_counted(
+      bytes, telemetry::PipelineCounters::global().gather());
+  return decode(flat);
 }
 
 bool ObjectLog::insert(Operation operation) {

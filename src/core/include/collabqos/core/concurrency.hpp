@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "collabqos/serde/chain.hpp"
 #include "collabqos/serde/wire.hpp"
 #include "collabqos/util/result.hpp"
 
@@ -57,6 +58,8 @@ struct Operation {
   [[nodiscard]] serde::Bytes encode() const;
   [[nodiscard]] static Result<Operation> decode(
       std::span<const std::uint8_t> bytes);
+  /// Decode from a zero-copy payload view (gathers only if fragmented).
+  [[nodiscard]] static Result<Operation> decode(const serde::ByteChain& bytes);
 };
 
 /// Per-object totally ordered, deduplicated operation log.

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "collabqos/serde/chain.hpp"
 #include "collabqos/serde/wire.hpp"
 #include "collabqos/util/result.hpp"
 
@@ -28,6 +29,8 @@ struct StateEntry {
   [[nodiscard]] serde::Bytes encode() const;
   [[nodiscard]] static Result<StateEntry> decode(
       std::span<const std::uint8_t> bytes);
+  /// Decode from a zero-copy payload view (gathers only if fragmented).
+  [[nodiscard]] static Result<StateEntry> decode(const serde::ByteChain& bytes);
 };
 
 class StateRepository {

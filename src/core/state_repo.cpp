@@ -1,5 +1,7 @@
 #include "collabqos/core/state_repo.hpp"
 
+#include "collabqos/telemetry/pipeline.hpp"
+
 namespace collabqos::core {
 
 serde::Bytes StateEntry::encode() const {
@@ -31,6 +33,12 @@ Result<StateEntry> StateEntry::decode(std::span<const std::uint8_t> bytes) {
   if (!state) return state.error();
   entry.state = std::move(state).take();
   return entry;
+}
+
+Result<StateEntry> StateEntry::decode(const serde::ByteChain& bytes) {
+  const serde::SharedBytes flat = telemetry::flatten_counted(
+      bytes, telemetry::PipelineCounters::global().gather());
+  return decode(flat);
 }
 
 bool StateRepository::apply(StateEntry entry) {

@@ -86,7 +86,7 @@ Status ThinClient::share_media(const media::MediaObject& object,
   message.content.set("media.modality",
                       std::string(media::to_string(object.modality())));
   message.event_type = std::string(events::kMedia);
-  message.payload = object.encode();
+  message.payload = serde::ByteChain(object.encode());
   return peer_->send_to(base_station_->address(), std::move(message));
 }
 

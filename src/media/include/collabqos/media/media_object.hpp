@@ -9,6 +9,7 @@
 
 #include "collabqos/media/codec.hpp"
 #include "collabqos/media/sketch.hpp"
+#include "collabqos/serde/chain.hpp"
 #include "collabqos/serde/wire.hpp"
 #include "collabqos/util/result.hpp"
 
@@ -77,6 +78,11 @@ class MediaObject {
   [[nodiscard]] serde::Bytes encode() const;
   [[nodiscard]] static Result<MediaObject> decode(
       std::span<const std::uint8_t> bytes);
+  /// Decode a zero-copy payload view at the pipeline edge. Contiguous
+  /// chains (the common, coalesced case) decode in place; fragmented
+  /// ones materialise here, charged to pipeline.bytes_copied.media.
+  [[nodiscard]] static Result<MediaObject> decode(
+      const serde::ByteChain& bytes);
 
  private:
   std::variant<TextMedia, SpeechMedia, SketchMedia, ImageMedia> content_;

@@ -1,5 +1,7 @@
 #include "collabqos/media/media_object.hpp"
 
+#include "collabqos/telemetry/pipeline.hpp"
+
 namespace collabqos::media {
 
 namespace {
@@ -66,6 +68,14 @@ serde::Bytes MediaObject::encode() const {
       },
       content_);
   return std::move(w).take();
+}
+
+Result<MediaObject> MediaObject::decode(const serde::ByteChain& bytes) {
+  // Materialise at most once, at the pipeline's edge: a coalesced chain
+  // is already contiguous and decodes in place.
+  const serde::SharedBytes flat = telemetry::flatten_counted(
+      bytes, telemetry::PipelineCounters::global().media());
+  return decode(flat);
 }
 
 Result<MediaObject> MediaObject::decode(std::span<const std::uint8_t> bytes) {

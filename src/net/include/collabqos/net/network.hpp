@@ -13,6 +13,7 @@
 
 #include "collabqos/net/address.hpp"
 #include "collabqos/net/link.hpp"
+#include "collabqos/serde/chain.hpp"
 #include "collabqos/serde/wire.hpp"
 #include "collabqos/sim/simulator.hpp"
 #include "collabqos/telemetry/metrics.hpp"
@@ -27,8 +28,10 @@ struct Datagram {
   bool via_multicast = false;
   GroupId group{};          ///< valid when via_multicast
   /// Shared with the sender and every other receiver of the same
-  /// transmission — one encode, one buffer, N deliveries.
-  serde::SharedBytes payload;
+  /// transmission — one encode, one buffer, N deliveries. A chain of
+  /// views: typically [packet header][payload slice] straight from the
+  /// sender's wire() call, storage never copied in transit.
+  serde::ByteChain payload;
   /// Virtual time the sender handed the datagram to the network.
   /// Simulator-side metadata (a real UDP header has no such field); the
   /// telemetry layer uses it for net.transit trace spans.
@@ -52,19 +55,25 @@ class Endpoint {
   /// Install the receive callback (replaces any previous one).
   void on_receive(ReceiveHandler handler);
 
-  /// Unreliable unicast send. The buffer is shared into the delivery
+  /// Unreliable unicast send. The buffers are shared into the delivery
   /// path, never copied.
-  Status send(Address destination, serde::SharedBytes payload);
+  Status send(Address destination, serde::ByteChain payload);
+  Status send(Address destination, serde::SharedBytes payload) {
+    return send(destination, serde::ByteChain(std::move(payload)));
+  }
   Status send(Address destination, serde::Bytes payload) {
-    return send(destination, serde::SharedBytes(std::move(payload)));
+    return send(destination, serde::ByteChain(std::move(payload)));
   }
 
   /// Unreliable multicast send to every current member of `group`
   /// (including the sender itself if joined and loopback enabled). All
-  /// members receive the same shared buffer.
-  Status send_multicast(GroupId group, serde::SharedBytes payload);
+  /// members receive the same shared buffers.
+  Status send_multicast(GroupId group, serde::ByteChain payload);
+  Status send_multicast(GroupId group, serde::SharedBytes payload) {
+    return send_multicast(group, serde::ByteChain(std::move(payload)));
+  }
   Status send_multicast(GroupId group, serde::Bytes payload) {
-    return send_multicast(group, serde::SharedBytes(std::move(payload)));
+    return send_multicast(group, serde::ByteChain(std::move(payload)));
   }
 
   Status join(GroupId group);
@@ -174,16 +183,16 @@ class Network {
     std::unique_ptr<NodeCounters> counters;
   };
 
-  Status send_unicast(Endpoint& from, Address to, serde::SharedBytes payload);
+  Status send_unicast(Endpoint& from, Address to, serde::ByteChain payload);
   Status send_multicast(Endpoint& from, GroupId group,
-                        serde::SharedBytes payload);
+                        serde::ByteChain payload);
   void unbind(Endpoint& endpoint);
   void join_group(Endpoint& endpoint, GroupId group);
   void leave_group(Endpoint& endpoint, GroupId group);
   /// Evaluate uplink at the source and downlink at each destination; on
   /// survival, schedule delivery.
   void route(Address source, Address destination, bool via_multicast,
-             GroupId group, const serde::SharedBytes& payload,
+             GroupId group, const serde::ByteChain& payload,
              sim::Duration uplink_delay);
 
   sim::Simulator& simulator_;

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "collabqos/serde/chain.hpp"
 #include "collabqos/serde/wire.hpp"
 #include "collabqos/sim/time.hpp"
 #include "collabqos/util/result.hpp"
@@ -26,7 +27,10 @@
 
 namespace collabqos::net {
 
-/// One RTP-style packet (a fragment of an application object).
+/// One RTP-style packet (a fragment of an application object). The
+/// payload is a SharedBytes *view*: on the send side a slice of the
+/// object's single encode buffer, on the receive side a slice of the
+/// arriving datagram — nothing on the nominal path copies it.
 struct RtpPacket {
   std::uint32_t ssrc = 0;          ///< sender stream identifier
   std::uint16_t sequence = 0;      ///< per-stream, wraps at 2^16
@@ -34,9 +38,19 @@ struct RtpPacket {
   std::uint8_t payload_type = 0;   ///< application media type tag
   std::uint16_t fragment_index = 0;
   std::uint16_t fragment_count = 1;
-  serde::Bytes payload;
+  serde::SharedBytes payload;
 
+  /// Zero-copy wire form: a freshly written ~24-byte header slice
+  /// chained with the payload view. What the datagram layer transmits.
+  [[nodiscard]] serde::ByteChain wire() const;
+  /// Legacy contiguous wire form; copies the payload into the header
+  /// buffer (charged to pipeline.bytes_copied.packet_encode).
   [[nodiscard]] serde::Bytes encode() const;
+  /// Zero-copy decode: header fields are read across the chain's slices
+  /// and the payload comes out as a view of the input's storage.
+  [[nodiscard]] static Result<RtpPacket> decode(const serde::ByteChain& bytes);
+  /// Legacy decode from a borrowed contiguous buffer; the payload is
+  /// copied out (charged to pipeline.bytes_copied.packet_decode).
   [[nodiscard]] static Result<RtpPacket> decode(
       std::span<const std::uint8_t> bytes);
 };
@@ -46,7 +60,14 @@ class RtpPacketizer {
  public:
   RtpPacketizer(std::uint32_t ssrc, std::size_t mtu_payload) noexcept;
 
-  /// Split `object` into packets of at most the configured payload MTU.
+  /// Zero-copy fragmentation: split one encode buffer into packets whose
+  /// payloads are slices of `object` — no fragment materialises bytes.
+  [[nodiscard]] std::vector<RtpPacket> packetize_views(
+      const serde::SharedBytes& object, std::uint8_t payload_type,
+      std::uint32_t timestamp);
+
+  /// Legacy copying fragmentation over a borrowed span (each fragment
+  /// materialises; charged to pipeline.bytes_copied.fragment).
   /// `timestamp` identifies the object (monotonically increasing).
   [[nodiscard]] std::vector<RtpPacket> packetize(
       std::span<const std::uint8_t> object, std::uint8_t payload_type,
@@ -80,10 +101,17 @@ struct RtpObject {
   /// Virtual time the first fragment of this object arrived (receiver-side
   /// metadata; the telemetry layer spans reassembly from it).
   sim::TimePoint first_fragment_at{};
-  /// Fragments in index order; missing ones are empty vectors.
-  std::vector<serde::Bytes> fragments;
+  /// Fragment payload views in index order; missing ones are empty.
+  std::vector<serde::SharedBytes> fragments;
 
-  /// Concatenation of the received fragments in order (gaps skipped).
+  /// Zero-copy reassembly: the received fragments in order (gaps
+  /// skipped) as a chain of views. When every fragment is an in-order
+  /// slice of one sender-side encode, the chain coalesces back to a
+  /// single contiguous slice.
+  [[nodiscard]] serde::ByteChain payload_chain() const;
+
+  /// Legacy reassembly: concatenate the received fragments into a fresh
+  /// buffer (charged to pipeline.bytes_copied.reassemble).
   [[nodiscard]] serde::Bytes reassemble() const;
 };
 
@@ -111,6 +139,9 @@ class RtpReceiver {
 
   /// Feed one raw datagram payload; returns malformed for undecodable
   /// bytes, ok otherwise (duplicates and stale packets are absorbed).
+  /// The chain form is zero-copy: the stored fragment is a view of the
+  /// datagram's storage.
+  Status ingest(const serde::ByteChain& bytes, sim::TimePoint now);
   Status ingest(std::span<const std::uint8_t> bytes, sim::TimePoint now);
   /// Feed an already-decoded packet (callers that need the header for
   /// source bookkeeping decode once and pass it through).

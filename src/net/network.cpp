@@ -27,11 +27,11 @@ void Endpoint::on_receive(ReceiveHandler handler) {
   handler_ = std::move(handler);
 }
 
-Status Endpoint::send(Address destination, serde::SharedBytes payload) {
+Status Endpoint::send(Address destination, serde::ByteChain payload) {
   return network_->send_unicast(*this, destination, std::move(payload));
 }
 
-Status Endpoint::send_multicast(GroupId group, serde::SharedBytes payload) {
+Status Endpoint::send_multicast(GroupId group, serde::ByteChain payload) {
   return network_->send_multicast(*this, group, std::move(payload));
 }
 
@@ -192,7 +192,7 @@ void Network::leave_group(Endpoint& endpoint, GroupId group) {
 }
 
 Status Network::send_unicast(Endpoint& from, Address to,
-                             serde::SharedBytes payload) {
+                             serde::ByteChain payload) {
   if (payload.size() > kMaxDatagram) {
     return Status(Errc::out_of_range, "datagram exceeds maximum size");
   }
@@ -211,7 +211,7 @@ Status Network::send_unicast(Endpoint& from, Address to,
 }
 
 Status Network::send_multicast(Endpoint& from, GroupId group,
-                               serde::SharedBytes payload) {
+                               serde::ByteChain payload) {
   if (payload.size() > kMaxDatagram) {
     return Status(Errc::out_of_range, "datagram exceeds maximum size");
   }
@@ -237,7 +237,7 @@ Status Network::send_multicast(Endpoint& from, GroupId group,
 }
 
 void Network::route(Address source, Address destination, bool via_multicast,
-                    GroupId group, const serde::SharedBytes& payload,
+                    GroupId group, const serde::ByteChain& payload,
                     sim::Duration uplink_delay) {
   const auto node_it = nodes_.find(raw(destination.node));
   if (node_it == nodes_.end()) {

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "collabqos/telemetry/pipeline.hpp"
+
 namespace collabqos::net {
 
 namespace {
@@ -14,23 +16,24 @@ constexpr std::uint8_t kMagic = 0xA7;
 int seq_distance(std::uint16_t a, std::uint16_t b) noexcept {
   return static_cast<std::int16_t>(static_cast<std::uint16_t>(b - a));
 }
-}  // namespace
 
-serde::Bytes RtpPacket::encode() const {
-  serde::Writer w(payload.size() + 24);
+serde::Bytes encode_header(const RtpPacket& p) {
+  serde::Writer w(24);
   w.u8(kMagic);
-  w.u32(ssrc);
-  w.u16(sequence);
-  w.u32(timestamp);
-  w.u8(payload_type);
-  w.u16(fragment_index);
-  w.u16(fragment_count);
-  w.blob(payload);
+  w.u32(p.ssrc);
+  w.u16(p.sequence);
+  w.u32(p.timestamp);
+  w.u8(p.payload_type);
+  w.u16(p.fragment_index);
+  w.u16(p.fragment_count);
+  w.varint(p.payload.size());  // blob length prefix; bytes follow as a view
   return std::move(w).take();
 }
 
-Result<RtpPacket> RtpPacket::decode(std::span<const std::uint8_t> bytes) {
-  serde::Reader r(bytes);
+/// Shared field decode; `read_payload` supplies the layer-appropriate
+/// payload extraction (copy for the legacy span path, view for chains).
+template <typename ReaderT, typename PayloadFn>
+Result<RtpPacket> decode_fields(ReaderT& r, PayloadFn read_payload) {
   auto magic = r.u8();
   if (!magic) return magic.error();
   if (magic.value() != kMagic) {
@@ -58,21 +61,59 @@ Result<RtpPacket> RtpPacket::decode(std::span<const std::uint8_t> bytes) {
   if (p.fragment_count == 0 || p.fragment_index >= p.fragment_count) {
     return Error{Errc::malformed, "bad fragment fields"};
   }
-  auto payload = r.blob();
-  if (!payload) return payload.error();
-  p.payload = std::move(payload).take();
+  if (auto status = read_payload(r, p); !status.ok()) return status.error();
   if (!r.exhausted()) {
     return Error{Errc::malformed, "trailing bytes after RTP payload"};
   }
   return p;
+}
+}  // namespace
+
+serde::ByteChain RtpPacket::wire() const {
+  serde::ByteChain chain(serde::SharedBytes(encode_header(*this)));
+  chain.append(payload);
+  return chain;
+}
+
+serde::Bytes RtpPacket::encode() const {
+  serde::Bytes out = encode_header(*this);
+  out.insert(out.end(), payload.begin(), payload.end());
+  auto& copies = telemetry::PipelineCounters::global();
+  copies.charge(copies.packet_encode(), payload.size());
+  return out;
+}
+
+Result<RtpPacket> RtpPacket::decode(const serde::ByteChain& bytes) {
+  serde::ChainReader r(bytes);
+  return decode_fields(r, [](serde::ChainReader& reader, RtpPacket& p) {
+    auto view = reader.view_blob();
+    if (!view) return Status(view.error());
+    // A packet's wire form is [header][payload view], so the view is one
+    // slice on the nominal path; a genuinely fragmented payload gathers.
+    p.payload = telemetry::flatten_counted(
+        view.value(), telemetry::PipelineCounters::global().packet_decode());
+    return Status{};
+  });
+}
+
+Result<RtpPacket> RtpPacket::decode(std::span<const std::uint8_t> bytes) {
+  serde::Reader r(bytes);
+  return decode_fields(r, [](serde::Reader& reader, RtpPacket& p) {
+    auto payload = reader.blob();
+    if (!payload) return Status(payload.error());
+    auto& copies = telemetry::PipelineCounters::global();
+    copies.charge(copies.packet_decode(), payload.value().size());
+    p.payload = std::move(payload).take();
+    return Status{};
+  });
 }
 
 RtpPacketizer::RtpPacketizer(std::uint32_t ssrc,
                              std::size_t mtu_payload) noexcept
     : ssrc_(ssrc), mtu_payload_(std::max<std::size_t>(1, mtu_payload)) {}
 
-std::vector<RtpPacket> RtpPacketizer::packetize(
-    std::span<const std::uint8_t> object, std::uint8_t payload_type,
+std::vector<RtpPacket> RtpPacketizer::packetize_views(
+    const serde::SharedBytes& object, std::uint8_t payload_type,
     std::uint32_t timestamp) {
   const std::size_t count =
       object.empty() ? 1 : (object.size() + mtu_payload_ - 1) / mtu_payload_;
@@ -87,10 +128,35 @@ std::vector<RtpPacket> RtpPacketizer::packetize(
     p.payload_type = payload_type;
     p.fragment_index = static_cast<std::uint16_t>(i);
     p.fragment_count = static_cast<std::uint16_t>(count);
+    p.payload = object.slice(i * mtu_payload_, mtu_payload_);
+    packets.push_back(std::move(p));
+  }
+  return packets;
+}
+
+std::vector<RtpPacket> RtpPacketizer::packetize(
+    std::span<const std::uint8_t> object, std::uint8_t payload_type,
+    std::uint32_t timestamp) {
+  const std::size_t count =
+      object.empty() ? 1 : (object.size() + mtu_payload_ - 1) / mtu_payload_;
+  assert(count <= UINT16_MAX);
+  std::vector<RtpPacket> packets;
+  packets.reserve(count);
+  auto& copies = telemetry::PipelineCounters::global();
+  for (std::size_t i = 0; i < count; ++i) {
+    RtpPacket p;
+    p.ssrc = ssrc_;
+    p.sequence = sequence_++;
+    p.timestamp = timestamp;
+    p.payload_type = payload_type;
+    p.fragment_index = static_cast<std::uint16_t>(i);
+    p.fragment_count = static_cast<std::uint16_t>(count);
     const std::size_t begin = i * mtu_payload_;
     const std::size_t end = std::min(begin + mtu_payload_, object.size());
-    p.payload.assign(object.begin() + static_cast<std::ptrdiff_t>(begin),
-                     object.begin() + static_cast<std::ptrdiff_t>(end));
+    p.payload = serde::SharedBytes(
+        serde::Bytes(object.begin() + static_cast<std::ptrdiff_t>(begin),
+                     object.begin() + static_cast<std::ptrdiff_t>(end)));
+    copies.charge(copies.fragment(), end - begin);
     packets.push_back(std::move(p));
   }
   return packets;
@@ -111,10 +177,16 @@ std::vector<RtpPacket> RtpPacketizer::packetize_fragments(
     p.payload_type = payload_type;
     p.fragment_index = static_cast<std::uint16_t>(i);
     p.fragment_count = static_cast<std::uint16_t>(fragments.size());
-    p.payload = fragments[i];
+    p.payload = serde::SharedBytes(fragments[i]);
     packets.push_back(std::move(p));
   }
   return packets;
+}
+
+serde::ByteChain RtpObject::payload_chain() const {
+  serde::ByteChain chain;
+  for (const auto& f : fragments) chain.append(f);
+  return chain;
 }
 
 serde::Bytes RtpObject::reassemble() const {
@@ -123,11 +195,19 @@ serde::Bytes RtpObject::reassemble() const {
   for (const auto& f : fragments) total += f.size();
   out.reserve(total);
   for (const auto& f : fragments) out.insert(out.end(), f.begin(), f.end());
+  auto& copies = telemetry::PipelineCounters::global();
+  copies.charge(copies.reassemble(), total);
   return out;
 }
 
 RtpReceiver::RtpReceiver(sim::Duration flush_after)
     : flush_after_(flush_after) {}
+
+Status RtpReceiver::ingest(const serde::ByteChain& bytes, sim::TimePoint now) {
+  auto decoded = RtpPacket::decode(bytes);
+  if (!decoded) return decoded.error();
+  return ingest(std::move(decoded).take(), now);
+}
 
 Status RtpReceiver::ingest(std::span<const std::uint8_t> bytes,
                            sim::TimePoint now) {

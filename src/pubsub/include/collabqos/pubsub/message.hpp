@@ -11,6 +11,7 @@
 #include "collabqos/pubsub/attribute.hpp"
 #include "collabqos/pubsub/profile.hpp"
 #include "collabqos/pubsub/selector.hpp"
+#include "collabqos/serde/chain.hpp"
 #include "collabqos/serde/wire.hpp"
 
 namespace collabqos::pubsub {
@@ -30,9 +31,23 @@ struct SemanticMessage {
   /// addressing is semantic).
   std::uint64_t sender_id = 0;
   std::uint64_t sequence = 0;  ///< per-sender sequence number
-  serde::Bytes payload;
+  /// Application payload. On the receive path this is a zero-copy view
+  /// into the reassembled wire bytes (often a single coalesced slice).
+  serde::ByteChain payload;
 
-  [[nodiscard]] serde::Bytes encode() const;
+  /// Serialise into one refcounted buffer — the only payload gather the
+  /// zero-copy pipeline performs (charged to pipeline.bytes_copied.encode).
+  /// Downstream layers fragment and transmit slices of this buffer.
+  [[nodiscard]] serde::SharedBytes encode() const;
+  /// Zero-copy decode: header fields are read from the chain (fast path
+  /// when the reassembled chain coalesced to one slice) and the payload
+  /// comes out as a view of the input's storage.
+  [[nodiscard]] static Result<SemanticMessage> decode(
+      const serde::ByteChain& bytes);
+  [[nodiscard]] static Result<SemanticMessage> decode(
+      const serde::ByteChain& bytes, SelectorCache& cache);
+  /// Legacy decode from a borrowed contiguous buffer; the payload is
+  /// copied out (charged to pipeline.bytes_copied.message_decode).
   [[nodiscard]] static Result<SemanticMessage> decode(
       std::span<const std::uint8_t> bytes);
   /// As above, but the selector decode is served through `cache` —

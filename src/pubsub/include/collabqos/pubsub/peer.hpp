@@ -155,7 +155,7 @@ class SemanticPeer {
   /// transmission from this peer (relays of foreign messages included).
   Status transmit(const SemanticMessage& message,
                   std::uint32_t transport_timestamp,
-                  const std::function<Status(serde::SharedBytes)>& sink);
+                  const std::function<Status(serde::ByteChain)>& sink);
   /// One repair/flush sweep (runs from the reassembly timer).
   void repair_tick();
   void handle_nack(const net::Datagram& datagram);

@@ -1,6 +1,7 @@
 #include "collabqos/pubsub/message.hpp"
 
 #include "collabqos/pubsub/selector_cache.hpp"
+#include "collabqos/telemetry/pipeline.hpp"
 
 namespace collabqos::pubsub {
 
@@ -8,7 +9,7 @@ namespace {
 constexpr std::uint8_t kMessageMagic = 0xE5;
 }
 
-serde::Bytes SemanticMessage::encode() const {
+serde::SharedBytes SemanticMessage::encode() const {
   serde::Writer w;
   // magic + selector + content + varints rarely exceed this; the point
   // is to land the common case in a single allocation.
@@ -20,38 +21,85 @@ serde::Bytes SemanticMessage::encode() const {
   w.varint(sender_id);
   w.varint(sequence);
   w.blob(payload);
-  return std::move(w).take();
+  auto& copies = telemetry::PipelineCounters::global();
+  copies.charge(copies.encode(), payload.size());
+  return serde::SharedBytes(std::move(w).take());
 }
 
 namespace {
 
+/// Decode the fields before the payload blob from `r`; on success the
+/// reader is positioned at the payload length varint.
+Status decode_head(serde::Reader& r, SemanticMessage& message,
+                   SelectorCache* cache) {
+  auto magic = r.u8();
+  if (!magic) return Status(magic.error());
+  if (magic.value() != kMessageMagic) {
+    return Status(Errc::malformed, "not a semantic message");
+  }
+  auto selector = cache ? cache->decode(r) : Selector::decode(r);
+  if (!selector) return Status(selector.error());
+  message.selector = std::move(selector).take();
+  auto content = AttributeSet::decode(r);
+  if (!content) return Status(content.error());
+  message.content = std::move(content).take();
+  auto event_type = r.string();
+  if (!event_type) return Status(event_type.error());
+  message.event_type = std::move(event_type).take();
+  auto sender = r.varint();
+  if (!sender) return Status(sender.error());
+  message.sender_id = sender.value();
+  auto sequence = r.varint();
+  if (!sequence) return Status(sequence.error());
+  message.sequence = sequence.value();
+  return {};
+}
+
 Result<SemanticMessage> decode_message(std::span<const std::uint8_t> bytes,
                                        SelectorCache* cache) {
   serde::Reader r(bytes);
-  auto magic = r.u8();
-  if (!magic) return magic.error();
-  if (magic.value() != kMessageMagic) {
-    return Error{Errc::malformed, "not a semantic message"};
-  }
   SemanticMessage message;
-  auto selector = cache ? cache->decode(r) : Selector::decode(r);
-  if (!selector) return selector.error();
-  message.selector = std::move(selector).take();
-  auto content = AttributeSet::decode(r);
-  if (!content) return content.error();
-  message.content = std::move(content).take();
-  auto event_type = r.string();
-  if (!event_type) return event_type.error();
-  message.event_type = std::move(event_type).take();
-  auto sender = r.varint();
-  if (!sender) return sender.error();
-  message.sender_id = sender.value();
-  auto sequence = r.varint();
-  if (!sequence) return sequence.error();
-  message.sequence = sequence.value();
+  if (auto head = decode_head(r, message, cache); !head.ok()) {
+    return head.error();
+  }
   auto payload = r.blob();
   if (!payload) return payload.error();
-  message.payload = std::move(payload).take();
+  auto& copies = telemetry::PipelineCounters::global();
+  copies.charge(copies.message_decode(), payload.value().size());
+  message.payload = serde::ByteChain(std::move(payload).take());
+  if (!r.exhausted()) {
+    return Error{Errc::malformed, "trailing bytes after message"};
+  }
+  return message;
+}
+
+Result<SemanticMessage> decode_message_chain(const serde::ByteChain& bytes,
+                                             SelectorCache* cache) {
+  const auto contiguous = bytes.contiguous();
+  if (!contiguous) {
+    // The header itself straddles slices (tiny-MTU fragmentation cut
+    // through it): gather once — charged — then take the fast path on
+    // the now-contiguous chain.
+    serde::SharedBytes flat = telemetry::flatten_counted(
+        bytes, telemetry::PipelineCounters::global().message_decode());
+    return decode_message_chain(serde::ByteChain(std::move(flat)), cache);
+  }
+  // Contiguous fast path: the selector cache fingerprints the selector's
+  // wire bytes in place, and the payload stays a view of the input.
+  serde::Reader r(*contiguous);
+  SemanticMessage message;
+  if (auto head = decode_head(r, message, cache); !head.ok()) {
+    return head.error();
+  }
+  auto length = r.varint();
+  if (!length) return length.error();
+  if (length.value() > r.remaining()) {
+    return Error{Errc::malformed, "truncated input"};
+  }
+  message.payload = bytes.slice(r.offset(), length.value());
+  if (auto skipped = r.skip(length.value()); !skipped.ok()) {
+    return skipped.error();
+  }
   if (!r.exhausted()) {
     return Error{Errc::malformed, "trailing bytes after message"};
   }
@@ -59,6 +107,15 @@ Result<SemanticMessage> decode_message(std::span<const std::uint8_t> bytes,
 }
 
 }  // namespace
+
+Result<SemanticMessage> SemanticMessage::decode(const serde::ByteChain& bytes) {
+  return decode_message_chain(bytes, nullptr);
+}
+
+Result<SemanticMessage> SemanticMessage::decode(const serde::ByteChain& bytes,
+                                                SelectorCache& cache) {
+  return decode_message_chain(bytes, &cache);
+}
 
 Result<SemanticMessage> SemanticMessage::decode(
     std::span<const std::uint8_t> bytes) {

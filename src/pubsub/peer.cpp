@@ -3,6 +3,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "collabqos/telemetry/pipeline.hpp"
 #include "collabqos/telemetry/trace.hpp"
 #include "collabqos/util/logging.hpp"
 
@@ -96,11 +97,13 @@ void SemanticPeer::register_counters() {
 
 Status SemanticPeer::transmit(
     const SemanticMessage& message, std::uint32_t transport_timestamp,
-    const std::function<Status(serde::SharedBytes)>& sink) {
-  const serde::Bytes encoded = message.encode();
+    const std::function<Status(serde::ByteChain)>& sink) {
+  auto& copies = telemetry::PipelineCounters::global();
+  const std::uint64_t copied_before = copies.total();
+  const serde::SharedBytes encoded = message.encode();
   const auto packets =
-      packetizer_.packetize(encoded, kSemanticPayloadType,
-                            transport_timestamp);
+      packetizer_.packetize_views(encoded, kSemanticPayloadType,
+                                  transport_timestamp);
   if (auto& tracer = telemetry::Tracer::global(); tracer.enabled()) {
     telemetry::Span span;
     span.trace_id =
@@ -110,11 +113,13 @@ Status SemanticPeer::transmit(
     span.start = span.end = network_.simulator().now();
     span.tags.emplace_back("fragments", std::to_string(packets.size()));
     span.tags.emplace_back("bytes", std::to_string(encoded.size()));
+    span.tags.emplace_back("bytes_copied",
+                           std::to_string(copies.total() - copied_before));
     tracer.record(std::move(span));
   }
   for (const net::RtpPacket& packet : packets) {
     remember_sent(packet);
-    if (auto status = sink(packet.encode()); !status.ok()) return status;
+    if (auto status = sink(packet.wire()); !status.ok()) return status;
   }
   return {};
 }
@@ -136,7 +141,7 @@ Status SemanticPeer::publish(SemanticMessage message) {
     tracer.record(std::move(span));
   }
   return transmit(message, static_cast<std::uint32_t>(message.sequence),
-                  [this](serde::SharedBytes bytes) {
+                  [this](serde::ByteChain bytes) {
     return endpoint_->send_multicast(group_, std::move(bytes));
   });
 }
@@ -147,7 +152,7 @@ Status SemanticPeer::send_to(net::Address destination,
   message.sequence = next_sequence_++;
   ++stats_.published;
   return transmit(message, static_cast<std::uint32_t>(message.sequence),
-                  [this, destination](serde::SharedBytes bytes) {
+                  [this, destination](serde::ByteChain bytes) {
                     return endpoint_->send(destination, std::move(bytes));
                   });
 }
@@ -158,7 +163,7 @@ Status SemanticPeer::relay_to(net::Address destination,
   // The transport timestamp comes from this peer's own sequence space so
   // replays of different senders' messages never collide in reassembly.
   return transmit(message, static_cast<std::uint32_t>(next_sequence_++),
-                  [this, destination](serde::SharedBytes bytes) {
+                  [this, destination](serde::ByteChain bytes) {
                     return endpoint_->send(destination, std::move(bytes));
                   });
 }
@@ -233,7 +238,11 @@ void SemanticPeer::repair_tick() {
 }
 
 void SemanticPeer::handle_nack(const net::Datagram& datagram) {
-  serde::Reader r(datagram.payload);
+  // NACKs are single-buffer control datagrams, so this flatten is free;
+  // a pathological multi-slice one gathers (charged).
+  const serde::SharedBytes flat = telemetry::flatten_counted(
+      datagram.payload, telemetry::PipelineCounters::global().gather());
+  serde::Reader r(flat);
   (void)r.u8();  // magic, already checked
   auto ssrc = r.u32();
   auto timestamp = r.u32();
@@ -251,7 +260,7 @@ void SemanticPeer::handle_nack(const net::Datagram& datagram) {
         sent_packets_.find({timestamp.value(), index.value()});
     if (it == sent_packets_.end()) continue;  // evicted; nothing to do
     ++stats_.retransmissions;
-    (void)endpoint_->send(datagram.source, it->second.encode());
+    (void)endpoint_->send(datagram.source, it->second.wire());
   }
 }
 
@@ -284,6 +293,12 @@ void SemanticPeer::on_object(const net::RtpObject& object) {
   const bool tracing = tracer.enabled();
   const std::uint64_t trace_id =
       telemetry::make_trace_id(object.ssrc, object.timestamp);
+  auto& copies = telemetry::PipelineCounters::global();
+  const std::uint64_t copied_before = copies.total();
+  const serde::ByteChain bytes = object.payload_chain();
+  const std::uint64_t cache_hits_before =
+      tracing ? selector_cache_.stats().hits : 0;
+  auto decoded = SemanticMessage::decode(bytes, selector_cache_);
   if (tracing) {
     telemetry::Span span;
     span.trace_id = trace_id;
@@ -293,12 +308,12 @@ void SemanticPeer::on_object(const net::RtpObject& object) {
     span.end = network_.simulator().now();
     span.tags.emplace_back("fragments",
                            std::to_string(object.fragment_count));
+    // Bytes materialised turning this object's fragments into a decoded
+    // message — 0 when the views coalesced (the zero-copy fast path).
+    span.tags.emplace_back("bytes_copied",
+                           std::to_string(copies.total() - copied_before));
     tracer.record(std::move(span));
   }
-  const serde::Bytes bytes = object.reassemble();
-  const std::uint64_t cache_hits_before =
-      tracing ? selector_cache_.stats().hits : 0;
-  auto decoded = SemanticMessage::decode(bytes, selector_cache_);
   if (!decoded) {
     ++stats_.undecodable;
     CQ_DEBUG(kComponent) << "peer " << peer_id_

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "collabqos/telemetry/pipeline.hpp"
+
 namespace collabqos::pubsub::baseline {
 
 namespace {
@@ -56,7 +58,9 @@ NamingServer::NamingServer(net::Network& network, net::NodeId node)
 }
 
 void NamingServer::handle(const net::Datagram& datagram) {
-  serde::Reader r(datagram.payload);
+  const serde::SharedBytes flat = telemetry::flatten_counted(
+      datagram.payload, telemetry::PipelineCounters::global().gather());
+  serde::Reader r(flat);
   auto tag = r.u8();
   if (!tag || tag.value() != kRegister) return;
   auto entry = RosterEntry::decode(r);
@@ -137,7 +141,9 @@ Status NamedClient::publish(AttributeSet content, serde::Bytes payload) {
 }
 
 void NamedClient::handle(const net::Datagram& datagram) {
-  serde::Reader r(datagram.payload);
+  const serde::SharedBytes flat = telemetry::flatten_counted(
+      datagram.payload, telemetry::PipelineCounters::global().gather());
+  serde::Reader r(flat);
   auto tag = r.u8();
   if (!tag) return;
   if (tag.value() == kRosterUpdate) {

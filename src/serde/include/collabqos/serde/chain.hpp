@@ -1,0 +1,196 @@
+// Non-contiguous byte buffers for the zero-copy payload pipeline
+// (DESIGN.md §11). A ByteChain is an ordered list of SharedBytes slices
+// presented as one logical byte sequence; a ChainReader decodes wire
+// data across the slice boundaries. Together they let fragmentation,
+// reassembly and message decode pass *views* of one encode buffer
+// through the whole delivery path instead of re-materialising the
+// payload at every layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <iterator>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "collabqos/serde/wire.hpp"
+#include "collabqos/util/result.hpp"
+
+namespace collabqos::serde {
+
+/// An immutable sequence of SharedBytes slices viewed as one byte
+/// string. Appending a slice that continues the previous one inside the
+/// same backing buffer coalesces in place, so a chain reassembled from
+/// in-order fragments of a single encode collapses back to one
+/// contiguous slice and downstream decode takes the contiguous fast
+/// path. Empty slices are never stored.
+class ByteChain {
+ public:
+  ByteChain() = default;
+  /// Explicit: several APIs overload on both ByteChain and
+  /// span-convertible buffer types, so a silent Bytes/SharedBytes ->
+  /// ByteChain conversion would make those call sites ambiguous.
+  explicit ByteChain(SharedBytes slice) { append(std::move(slice)); }
+  explicit ByteChain(Bytes bytes) : ByteChain(SharedBytes(std::move(bytes))) {}
+  /// Implicit: literal payloads (`message.payload = {1, 2, 3}`) have no
+  /// competing overload to collide with.
+  ByteChain(std::initializer_list<std::uint8_t> bytes)
+      : ByteChain(Bytes(bytes)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Append a slice (shares storage; coalesces adjacent views).
+  void append(SharedBytes slice);
+  void append(const ByteChain& chain);
+  void clear() noexcept {
+    slices_.clear();
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::span<const SharedBytes> slices() const noexcept {
+    return slices_;
+  }
+
+  /// Element access across slices: O(#slices); out-of-range reads 0
+  /// (same defined semantics as SharedBytes::operator[]).
+  [[nodiscard]] std::uint8_t operator[](std::size_t i) const noexcept;
+
+  /// Zero-copy sub-view [offset, offset+len) as a new chain of slices.
+  /// Clamped like SharedBytes::slice.
+  [[nodiscard]] ByteChain slice(
+      std::size_t offset,
+      std::size_t len = static_cast<std::size_t>(-1)) const;
+
+  /// When the whole chain is a single slice (or empty), its contiguous
+  /// span — the decode fast path. nullopt when genuinely fragmented.
+  [[nodiscard]] std::optional<std::span<const std::uint8_t>> contiguous()
+      const noexcept {
+    if (slices_.empty()) return std::span<const std::uint8_t>{};
+    if (slices_.size() == 1) return slices_.front().span();
+    return std::nullopt;
+  }
+
+  /// Materialise into one freshly allocated buffer (THE copy the rest of
+  /// the pipeline avoids). Callers on instrumented paths charge the
+  /// returned size to pipeline.bytes_copied.* (telemetry/pipeline.hpp).
+  [[nodiscard]] Bytes gather() const;
+
+  /// Contiguous view of the chain: zero-copy when it is empty or a
+  /// single slice, otherwise a gather. `copied`, when non-null, receives
+  /// the number of bytes the call had to materialise (0 on the zero-copy
+  /// path) so callers can charge copy accounting.
+  [[nodiscard]] SharedBytes flatten(std::size_t* copied = nullptr) const;
+
+  /// Forward iterator over the chain's bytes (test/equality support; the
+  /// hot paths use slices() or contiguous()).
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = std::uint8_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const std::uint8_t*;
+    using reference = const std::uint8_t&;
+
+    const_iterator() = default;
+    reference operator*() const noexcept {
+      return (*slices_)[slice_].data()[pos_];
+    }
+    const_iterator& operator++() noexcept {
+      if (++pos_ == (*slices_)[slice_].size()) {
+        ++slice_;
+        pos_ = 0;
+      }
+      return *this;
+    }
+    const_iterator operator++(int) noexcept {
+      const_iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+    friend bool operator==(const const_iterator& a,
+                           const const_iterator& b) noexcept {
+      return a.slice_ == b.slice_ && a.pos_ == b.pos_;
+    }
+
+   private:
+    friend class ByteChain;
+    const_iterator(const std::vector<SharedBytes>* slices,
+                   std::size_t slice) noexcept
+        : slices_(slices), slice_(slice) {}
+    const std::vector<SharedBytes>* slices_ = nullptr;
+    std::size_t slice_ = 0;
+    std::size_t pos_ = 0;
+  };
+
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return const_iterator(&slices_, 0);
+  }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return const_iterator(&slices_, slices_.size());
+  }
+
+  /// Content equality, slice layout ignored.
+  friend bool operator==(const ByteChain& a, const ByteChain& b) noexcept;
+  friend bool operator==(const ByteChain& a,
+                         std::span<const std::uint8_t> b) noexcept;
+
+ private:
+  std::vector<SharedBytes> slices_;
+  std::size_t size_ = 0;
+};
+
+/// Bounds-checked decoder over a ByteChain: the Reader API, but able to
+/// read values that straddle slice boundaries. Scalars assemble across
+/// slices; string()/blob() materialise (as they always did); view() and
+/// view_blob() return zero-copy sub-chains sharing the input's storage,
+/// which is how the receive path hands an application payload through
+/// without touching its bytes.
+class ChainReader {
+ public:
+  explicit ChainReader(const ByteChain& chain) noexcept
+      : slices_(chain.slices()), size_(chain.size()) {}
+
+  [[nodiscard]] Result<std::uint8_t> u8();
+  [[nodiscard]] Result<std::uint16_t> u16();
+  [[nodiscard]] Result<std::uint32_t> u32();
+  [[nodiscard]] Result<std::uint64_t> u64();
+  [[nodiscard]] Result<std::uint64_t> varint();
+  [[nodiscard]] Result<std::int64_t> svarint();
+  [[nodiscard]] Result<double> f64();
+  [[nodiscard]] Result<bool> boolean();
+  [[nodiscard]] Result<std::string> string();
+  [[nodiscard]] Result<Bytes> blob();
+
+  /// Zero-copy view of the next `n` bytes as slices of the underlying
+  /// storage (safe to hold beyond the reader's and chain's lifetime).
+  [[nodiscard]] Result<ByteChain> view(std::size_t n);
+  /// varint length + zero-copy view of that many bytes.
+  [[nodiscard]] Result<ByteChain> view_blob();
+
+  Status skip(std::size_t n);
+
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return size_ - offset_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  [[nodiscard]] Status need(std::size_t n) const noexcept;
+  /// Copy exactly `n` bytes (bounds already checked) to `out`, advancing.
+  void read_raw(std::uint8_t* out, std::size_t n) noexcept;
+  template <typename T>
+  [[nodiscard]] Result<T> scalar();
+
+  std::span<const SharedBytes> slices_;
+  std::size_t size_ = 0;
+  std::size_t offset_ = 0;  ///< global cursor
+  std::size_t slice_ = 0;   ///< current slice index
+  std::size_t pos_ = 0;     ///< cursor within current slice
+};
+
+}  // namespace collabqos::serde

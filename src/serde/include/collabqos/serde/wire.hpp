@@ -4,6 +4,7 @@
 // through these two classes so fuzz/property tests cover one codec.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -18,27 +19,34 @@ namespace collabqos::serde {
 
 using Bytes = std::vector<std::uint8_t>;
 
-/// An immutable, reference-counted byte buffer. One encode can fan out
-/// to many receivers (multicast delivery, roster pushes, retransmit
+/// An immutable, reference-counted byte buffer view. One encode can fan
+/// out to many receivers (multicast delivery, roster pushes, retransmit
 /// queues) while every copy shares the same underlying storage — the
 /// per-receiver cost is a pointer bump, not a buffer duplication.
+///
+/// A SharedBytes may view a sub-range of its storage: slice() produces
+/// views that keep the whole backing buffer alive but expose only
+/// [offset, offset+len). The zero-copy pipeline (DESIGN.md §11) passes
+/// such views across layer boundaries instead of re-copying payloads.
 class SharedBytes {
  public:
   SharedBytes() = default;
   /// Implicit on purpose: call sites that just encoded a buffer hand it
   /// over by value and the wrapper takes ownership without copying.
   SharedBytes(Bytes bytes)
-      : data_(std::make_shared<const Bytes>(std::move(bytes))) {}
+      : data_(std::make_shared<const Bytes>(std::move(bytes))),
+        size_(data_->size()) {}
 
-  [[nodiscard]] std::size_t size() const noexcept {
-    return data_ ? data_->size() : 0;
-  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
   [[nodiscard]] const std::uint8_t* data() const noexcept {
-    return data_ ? data_->data() : nullptr;
+    return data_ ? data_->data() + offset_ : nullptr;
   }
+  /// Bounds-safe element access: out-of-range (including any index on an
+  /// empty or default-constructed buffer) reads as 0 rather than
+  /// dereferencing null storage.
   [[nodiscard]] std::uint8_t operator[](std::size_t i) const noexcept {
-    return (*data_)[i];
+    return i < size_ ? data()[i] : 0;
   }
   [[nodiscard]] auto begin() const noexcept { return data(); }
   [[nodiscard]] auto end() const noexcept { return data() + size(); }
@@ -47,18 +55,49 @@ class SharedBytes {
   }
   operator std::span<const std::uint8_t>() const noexcept { return span(); }
 
+  /// Zero-copy sub-view sharing this buffer's storage. The range is
+  /// clamped to the buffer: slice(off > size) is empty, len runs to the
+  /// end when it overshoots (std::string_view::substr semantics).
+  [[nodiscard]] SharedBytes slice(
+      std::size_t offset,
+      std::size_t len = static_cast<std::size_t>(-1)) const noexcept {
+    const std::size_t begin = offset < size_ ? offset : size_;
+    const std::size_t count = len < size_ - begin ? len : size_ - begin;
+    return SharedBytes(data_, offset_ + begin, count);
+  }
+
+  /// Whether two views are backed by the same allocation (regardless of
+  /// the ranges they expose).
+  [[nodiscard]] bool shares_storage(const SharedBytes& other) const noexcept {
+    return data_ != nullptr && data_ == other.data_;
+  }
+
   /// Content equality (also matches plain Bytes via span conversion).
   friend bool operator==(const SharedBytes& a,
                          std::span<const std::uint8_t> b) noexcept {
-    if (a.size() != b.size()) return false;
-    for (std::size_t i = 0; i < b.size(); ++i) {
-      if (a.data()[i] != b[i]) return false;
+    return a.size() == b.size() &&
+           std::equal(b.begin(), b.end(), a.begin());
+  }
+  /// View equality: same storage + same range short-circuits the byte
+  /// compare (multicast fan-out compares views of one encode constantly).
+  friend bool operator==(const SharedBytes& a,
+                         const SharedBytes& b) noexcept {
+    if (a.shares_storage(b) && a.offset_ == b.offset_ &&
+        a.size_ == b.size_) {
+      return true;
     }
-    return true;
+    return a == b.span();
   }
 
  private:
+  friend class ByteChain;
+  SharedBytes(std::shared_ptr<const Bytes> data, std::size_t offset,
+              std::size_t size) noexcept
+      : data_(std::move(data)), offset_(offset), size_(size) {}
+
   std::shared_ptr<const Bytes> data_;
+  std::size_t offset_ = 0;
+  std::size_t size_ = 0;
 };
 
 /// Append-only encoder.
@@ -84,6 +123,8 @@ class Writer {
   /// varint length + raw bytes.
   void string(std::string_view v);
   void blob(std::span<const std::uint8_t> v);
+  /// As blob(), gathering a (possibly non-contiguous) chain of slices.
+  void blob(const class ByteChain& v);
 
   [[nodiscard]] const Bytes& bytes() const noexcept { return buffer_; }
   [[nodiscard]] Bytes take() && noexcept { return std::move(buffer_); }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "collabqos/telemetry/pipeline.hpp"
 #include "collabqos/util/logging.hpp"
 
 namespace collabqos::snmp {
@@ -46,7 +47,9 @@ bool Agent::authorized(const Pdu& request) const {
 
 void Agent::handle(const net::Datagram& datagram) {
   ++stats_.requests;
-  auto decoded = Pdu::decode(datagram.payload);
+  const serde::SharedBytes flat = telemetry::flatten_counted(
+      datagram.payload, telemetry::PipelineCounters::global().gather());
+  auto decoded = Pdu::decode(flat);
   if (!decoded) {
     ++stats_.malformed;
     CQ_DEBUG(kComponent) << "malformed request from "

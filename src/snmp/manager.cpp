@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "collabqos/telemetry/pipeline.hpp"
 #include "collabqos/util/logging.hpp"
 
 namespace collabqos::snmp {
@@ -40,7 +41,9 @@ Status Manager::listen_for_traps(TrapHandler handler) {
     if (!endpoint) return endpoint.error();
     trap_endpoint_ = std::move(endpoint).take();
     trap_endpoint_->on_receive([this](const net::Datagram& datagram) {
-      auto decoded = Pdu::decode(datagram.payload);
+      const serde::SharedBytes flat = telemetry::flatten_counted(
+          datagram.payload, telemetry::PipelineCounters::global().gather());
+      auto decoded = Pdu::decode(flat);
       if (!decoded || decoded.value().type != PduType::trap) return;
       ++stats_.traps_received;
       if (trap_handler_) {
@@ -105,13 +108,19 @@ void Manager::set(net::NodeId agent, const std::string& community,
 void Manager::walk(
     net::NodeId agent, const std::string& community, const Oid& root,
     std::function<void(Result<std::vector<VarBind>>)> callback) {
-  // Accumulate results across chained GETNEXT steps.
+  // Accumulate results across chained GETNEXT steps. The closure holds
+  // only a weak self-reference; each in-flight request's callback keeps
+  // the strong one, so the chain stays alive exactly as long as a
+  // response is pending and is freed when the walk ends (no refcount
+  // cycle).
   auto collected = std::make_shared<std::vector<VarBind>>();
   auto step = std::make_shared<std::function<void(Oid)>>();
-  *step = [this, agent, community, root, collected, step,
+  *step = [this, agent, community, root, collected,
+           weak = std::weak_ptr(step),
            callback = std::move(callback)](Oid cursor) {
+    const auto self = weak.lock();
     get_next(agent, community, {std::move(cursor)},
-             [root, collected, step, callback](Result<Pdu> result) {
+             [root, collected, self, callback](Result<Pdu> result) {
                if (!result) {
                  callback(result.error());
                  return;
@@ -129,7 +138,7 @@ void Manager::walk(
                  return;
                }
                collected->push_back(pdu.bindings.front());
-               (*step)(pdu.bindings.front().oid);
+               (*self)(pdu.bindings.front().oid);
              });
   };
   (*step)(root);
@@ -139,12 +148,15 @@ void Manager::bulk_walk(
     net::NodeId agent, const std::string& community, const Oid& root,
     std::uint32_t max_repetitions,
     std::function<void(Result<std::vector<VarBind>>)> callback) {
+  // Same weak-self pattern as walk() above: no refcount cycle.
   auto collected = std::make_shared<std::vector<VarBind>>();
   auto step = std::make_shared<std::function<void(Oid)>>();
-  *step = [this, agent, community, root, max_repetitions, collected, step,
+  *step = [this, agent, community, root, max_repetitions, collected,
+           weak = std::weak_ptr(step),
            callback = std::move(callback)](Oid cursor) {
+    const auto self = weak.lock();
     get_bulk(agent, community, {std::move(cursor)}, max_repetitions,
-             [root, collected, step, callback](Result<Pdu> result) {
+             [root, collected, self, callback](Result<Pdu> result) {
                if (!result) {
                  callback(result.error());
                  return;
@@ -170,13 +182,13 @@ void Manager::bulk_walk(
                      root.is_prefix_of(pdu.bindings.back().oid)) {
                    // Entire batch inside the subtree but short: continue
                    // once more from the last OID to confirm the end.
-                   (*step)(pdu.bindings.back().oid);
+                   (*self)(pdu.bindings.back().oid);
                    return;
                  }
                  callback(std::move(*collected));
                  return;
                }
-               (*step)(pdu.bindings.back().oid);
+               (*self)(pdu.bindings.back().oid);
              });
   };
   (*step)(root);
@@ -222,7 +234,9 @@ void Manager::on_timeout(std::uint32_t request_id) {
 }
 
 void Manager::on_datagram(const net::Datagram& datagram) {
-  auto decoded = Pdu::decode(datagram.payload);
+  const serde::SharedBytes flat = telemetry::flatten_counted(
+      datagram.payload, telemetry::PipelineCounters::global().gather());
+  auto decoded = Pdu::decode(flat);
   if (!decoded) {
     CQ_DEBUG(kComponent) << "undecodable response dropped";
     return;

@@ -1,0 +1,92 @@
+// Copy accounting for the zero-copy payload pipeline (DESIGN.md §11).
+//
+// Every point where the delivery path still materialises payload bytes
+// — wire encode, legacy fragmentation, legacy per-packet encode, legacy
+// reassembly, payload copies at decode, gather fallbacks for
+// non-contiguous chains, and media materialisation at the edge — charges
+// the bytes it copied to one family here. The registry families
+// ("pipeline.bytes_copied.<site>", plus the roll-up
+// "pipeline.bytes_copied.total") make copy amplification visible in
+// bench snapshots, trace span tags and observatory series: a healthy
+// zero-copy run grows `total` by roughly one payload size per published
+// message, while the pre-refactor path grew it at every layer boundary.
+#pragma once
+
+#include <cstdint>
+
+#include "collabqos/serde/chain.hpp"
+#include "collabqos/telemetry/metrics.hpp"
+
+namespace collabqos::telemetry {
+
+/// Process-wide pipeline.bytes_copied.* counters. Charge through
+/// charge() so the `total` roll-up stays consistent.
+class PipelineCounters {
+ public:
+  [[nodiscard]] static PipelineCounters& global();
+
+  /// Payload bytes gathered into a contiguous wire-message buffer at
+  /// message encode (the one copy the zero-copy path keeps).
+  Counter& encode() noexcept { return encode_; }
+  /// Legacy packetizer copies (span-based fragmentation).
+  Counter& fragment() noexcept { return fragment_; }
+  /// Legacy contiguous per-packet wire encode.
+  Counter& packet_encode() noexcept { return packet_encode_; }
+  /// Packet payload copies on the legacy span decode path.
+  Counter& packet_decode() noexcept { return packet_decode_; }
+  /// Legacy RtpObject::reassemble concatenation.
+  Counter& reassemble() noexcept { return reassemble_; }
+  /// Message payload copies at semantic decode (legacy span path and
+  /// the non-contiguous header fallback).
+  Counter& message_decode() noexcept { return message_decode_; }
+  /// Gathers of non-contiguous chains outside the sites above (control
+  /// datagrams, application flatten calls).
+  Counter& gather() noexcept { return gather_; }
+  /// Media materialisation at the pipeline edge (decode of a fragmented
+  /// media payload view).
+  Counter& media() noexcept { return media_; }
+
+  /// Charge `bytes` to `site` (must be one of this instance's counters)
+  /// and to the total roll-up. No-op for 0 bytes.
+  void charge(Counter& site, std::uint64_t bytes) noexcept {
+    if (bytes == 0) return;
+    site += bytes;
+    total_ += bytes;
+  }
+
+  /// Sum across all sites — the value trace spans diff to tag an
+  /// operation with the bytes it copied.
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return total_.value();
+  }
+
+  PipelineCounters(const PipelineCounters&) = delete;
+  PipelineCounters& operator=(const PipelineCounters&) = delete;
+
+ private:
+  PipelineCounters();
+
+  Counter encode_;
+  Counter fragment_;
+  Counter packet_encode_;
+  Counter packet_decode_;
+  Counter reassemble_;
+  Counter message_decode_;
+  Counter gather_;
+  Counter media_;
+  Counter total_;
+  std::vector<Registration> registrations_;
+};
+
+/// Flatten `chain` to a contiguous view, charging any gather the chain
+/// needed (i.e. it was genuinely fragmented) to `site`. The common
+/// single-slice case is zero-copy and charges nothing.
+[[nodiscard]] inline serde::SharedBytes flatten_counted(
+    const serde::ByteChain& chain, Counter& site) {
+  std::size_t copied = 0;
+  serde::SharedBytes flat = chain.flatten(&copied);
+  PipelineCounters::global().charge(site, copied);
+  return flat;
+}
+
+}  // namespace collabqos::telemetry

@@ -305,6 +305,74 @@ TEST_P(Seeded, RtpSurvivesArbitraryLossReorderDuplication) {
   }
 }
 
+// The zero-copy pipeline (packetize_views -> wire() -> chain ingest ->
+// payload_chain) must be observationally identical to the legacy copy
+// path (packetize -> encode() -> span ingest -> reassemble) under any
+// payload size, MTU and loss pattern — including what each receiver
+// reports missing from partially delivered objects.
+TEST_P(Seeded, ZeroCopyPipelineMatchesLegacyCopyPath) {
+  Rng rng(GetParam() ^ 0x66);
+  const std::size_t mtus[] = {64, 256, 1400};
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t size =
+        static_cast<std::size_t>(rng.uniform_int(0, 6000));
+    const std::size_t mtu = mtus[rng.uniform_int(0, 2)];
+    const double loss = rng.chance(0.5) ? 0.0 : 0.3;
+    serde::Bytes object(size);
+    for (auto& byte : object) {
+      byte = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    net::RtpPacketizer legacy_tx(7, mtu);
+    net::RtpPacketizer zero_tx(7, mtu);
+    const auto legacy_packets = legacy_tx.packetize(object, 96, 1);
+    const auto zero_packets =
+        zero_tx.packetize_views(serde::SharedBytes(object), 96, 1);
+    ASSERT_EQ(legacy_packets.size(), zero_packets.size());
+
+    net::RtpReceiver legacy_rx;
+    net::RtpReceiver zero_rx;
+    std::vector<net::RtpObject> legacy_out;
+    std::vector<net::RtpObject> zero_out;
+    legacy_rx.on_object(
+        [&legacy_out](const net::RtpObject& o) { legacy_out.push_back(o); });
+    zero_rx.on_object(
+        [&zero_out](const net::RtpObject& o) { zero_out.push_back(o); });
+    for (std::size_t i = 0; i < legacy_packets.size(); ++i) {
+      if (rng.chance(loss)) continue;  // same loss pattern for both paths
+      ASSERT_TRUE(legacy_rx.ingest(legacy_packets[i].encode(), {}).ok());
+      ASSERT_TRUE(zero_rx.ingest(zero_packets[i].wire(), {}).ok());
+    }
+
+    // Identical partial-delivery bookkeeping: what is still missing must
+    // not depend on how payload bytes are carried.
+    const auto legacy_pending = legacy_rx.pending_summaries({});
+    const auto zero_pending = zero_rx.pending_summaries({});
+    ASSERT_EQ(legacy_pending.size(), zero_pending.size());
+    for (std::size_t i = 0; i < legacy_pending.size(); ++i) {
+      EXPECT_EQ(legacy_pending[i].ssrc, zero_pending[i].ssrc);
+      EXPECT_EQ(legacy_pending[i].timestamp, zero_pending[i].timestamp);
+      EXPECT_EQ(legacy_pending[i].missing, zero_pending[i].missing);
+    }
+
+    const auto flush_at = sim::TimePoint::from_micros(10'000'000);
+    EXPECT_EQ(legacy_rx.flush_stale(flush_at), zero_rx.flush_stale(flush_at));
+    ASSERT_EQ(legacy_out.size(), zero_out.size());
+    for (std::size_t i = 0; i < legacy_out.size(); ++i) {
+      EXPECT_EQ(legacy_out[i].complete, zero_out[i].complete);
+      EXPECT_EQ(legacy_out[i].fragments_received,
+                zero_out[i].fragments_received);
+      // Byte-identical delivery, complete or partial.
+      EXPECT_EQ(zero_out[i].payload_chain(), legacy_out[i].reassemble());
+      if (zero_out[i].complete) {
+        EXPECT_EQ(zero_out[i].payload_chain(), object);
+        // Every fragment is an in-order slice of one buffer, so the
+        // chain coalesces back to a single contiguous view.
+        EXPECT_LE(zero_out[i].payload_chain().slices().size(), 1u);
+      }
+    }
+  }
+}
+
 // ------------------------------------------------------ concurrency fuzz
 
 TEST_P(Seeded, ReplicasConvergeUnderRandomInterleavings) {

@@ -268,7 +268,7 @@ TEST(SelectorCacheTest, CachedDecodeMatchesUncachedDecisionExactly) {
   message.content.set("media.encoding", "MPEG2");
   message.event_type = "media.share";
   message.payload = {7, 7, 7};
-  const serde::Bytes wire = message.encode();
+  const serde::SharedBytes wire = message.encode();
 
   SelectorCache cache;
   for (int round = 0; round < 3; ++round) {
@@ -380,7 +380,7 @@ class PeerTest : public ::testing::Test {
     message.selector = std::move(selector);
     message.content.set("media.type", "text");
     message.event_type = "media.share";
-    message.payload = serde::Bytes(body.begin(), body.end());
+    message.payload = serde::ByteChain(serde::Bytes(body.begin(), body.end()));
     return message;
   }
 

@@ -156,9 +156,9 @@ TEST_F(RosterTest, GarbageToServerAndClientIsIgnored) {
   ASSERT_TRUE(alice->register_interest(Selector::always()).ok());
   run_for(1.0);
   auto hose = network_.bind(network_.add_node("x")).take();
-  ASSERT_TRUE(hose->send(server_->address(), {0xFF, 0x01}).ok());
-  ASSERT_TRUE(hose->send(alice->address(), {0xB2, 0xFF}).ok());
-  ASSERT_TRUE(hose->send(alice->address(), {0x00}).ok());
+  ASSERT_TRUE(hose->send(server_->address(), serde::Bytes{0xFF, 0x01}).ok());
+  ASSERT_TRUE(hose->send(alice->address(), serde::Bytes{0xB2, 0xFF}).ok());
+  ASSERT_TRUE(hose->send(alice->address(), serde::Bytes{0x00}).ok());
   run_for(1.0);
   EXPECT_EQ(server_->roster_size(), 1u);
   EXPECT_EQ(alice->known_roster_size(), 1u);

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
+#include "collabqos/serde/chain.hpp"
 #include "collabqos/serde/wire.hpp"
 #include "collabqos/util/rng.hpp"
 
@@ -194,6 +196,148 @@ TEST_P(WireFuzzRoundTrip, RandomSequencesRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzRoundTrip,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ------------------------------------------------------------ SharedBytes
+
+Bytes iota_bytes(std::size_t n, std::uint8_t start = 0) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(start + i);
+  }
+  return out;
+}
+
+// Regression: operator[] on an empty buffer used to dereference the null
+// data pointer; out-of-range access now reads 0 by definition.
+TEST(SharedBytes, EmptyAndOutOfRangeIndexReadZero) {
+  const SharedBytes empty;
+  EXPECT_EQ(empty[0], 0);
+  EXPECT_EQ(empty[12345], 0);
+  const SharedBytes two(Bytes{7, 9});
+  EXPECT_EQ(two[1], 9);
+  EXPECT_EQ(two[2], 0);
+}
+
+TEST(SharedBytes, SliceSharesStorage) {
+  const SharedBytes whole(iota_bytes(100));
+  const SharedBytes mid = whole.slice(10, 20);
+  ASSERT_EQ(mid.size(), 20u);
+  EXPECT_TRUE(mid.shares_storage(whole));
+  EXPECT_EQ(mid.data(), whole.data() + 10);
+  EXPECT_EQ(mid[0], 10);
+  // Slices of slices compose; clamping never reads past the end.
+  const SharedBytes tail = mid.slice(15);
+  EXPECT_EQ(tail.size(), 5u);
+  EXPECT_EQ(tail[0], 25);
+  EXPECT_EQ(whole.slice(95, 10).size(), 5u);
+  EXPECT_EQ(whole.slice(200, 10).size(), 0u);
+}
+
+TEST(SharedBytes, EqualityShortCircuitsSameStorage) {
+  const SharedBytes a(iota_bytes(4096));
+  const SharedBytes b = a;  // shared storage, same view
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, SharedBytes(iota_bytes(4096)));  // same content, new storage
+  EXPECT_FALSE(a == a.slice(0, 4095));          // same storage, other view
+  Bytes other = iota_bytes(4096);
+  other[4095] ^= 0xFF;
+  EXPECT_FALSE(a == SharedBytes(std::move(other)));
+  EXPECT_EQ(SharedBytes(), SharedBytes(Bytes{}));  // both empty, null data
+}
+
+// --------------------------------------------------------------- ByteChain
+
+TEST(ByteChain, AdjacentSlicesOfOneBufferCoalesce) {
+  const SharedBytes whole(iota_bytes(100));
+  ByteChain chain;
+  chain.append(whole.slice(0, 40));
+  chain.append(whole.slice(40, 35));
+  chain.append(whole.slice(75));
+  ASSERT_EQ(chain.size(), 100u);
+  // In-order views of one buffer collapse to a single contiguous slice.
+  EXPECT_EQ(chain.slices().size(), 1u);
+  ASSERT_TRUE(chain.contiguous().has_value());
+  EXPECT_EQ(chain, whole.span());
+}
+
+TEST(ByteChain, DistinctBuffersDoNotCoalesce) {
+  ByteChain chain;
+  chain.append(SharedBytes(iota_bytes(10)));
+  chain.append(SharedBytes(iota_bytes(10, 10)));
+  chain.append(SharedBytes{});  // empty slices are never stored
+  EXPECT_EQ(chain.slices().size(), 2u);
+  EXPECT_FALSE(chain.contiguous().has_value());
+  EXPECT_EQ(chain.size(), 20u);
+  EXPECT_EQ(chain, iota_bytes(20));
+  EXPECT_EQ(chain[15], 15);
+  EXPECT_EQ(chain[20], 0);  // out of range reads 0, like SharedBytes
+}
+
+TEST(ByteChain, SliceAndGatherAcrossBoundaries) {
+  ByteChain chain;
+  chain.append(SharedBytes(iota_bytes(16)));
+  chain.append(SharedBytes(iota_bytes(16, 16)));
+  chain.append(SharedBytes(iota_bytes(16, 32)));
+  const ByteChain mid = chain.slice(8, 32);
+  EXPECT_EQ(mid.size(), 32u);
+  const Bytes expect = iota_bytes(32, 8);
+  EXPECT_EQ(mid, expect);
+  EXPECT_EQ(mid.gather(), expect);
+  // Flatten reports exactly the bytes it had to materialise.
+  std::size_t copied = 123;
+  const SharedBytes flat = mid.flatten(&copied);
+  EXPECT_EQ(copied, 32u);
+  EXPECT_EQ(flat, SharedBytes(expect));
+  std::size_t copied_single = 123;
+  (void)ByteChain(SharedBytes(iota_bytes(8))).flatten(&copied_single);
+  EXPECT_EQ(copied_single, 0u);
+}
+
+// ------------------------------------------------------------- ChainReader
+
+TEST(ChainReader, ReadsValuesStraddlingSliceBoundaries) {
+  Writer w;
+  w.u32(0xDEADBEEF);
+  w.varint(300);
+  w.string("hello chain");
+  w.u64(0x0123456789ABCDEFULL);
+  const Bytes wire = std::move(w).take();
+  // Re-chain the wire bytes in 3-byte shards from distinct buffers so
+  // every multi-byte value straddles at least one boundary.
+  ByteChain chain;
+  for (std::size_t i = 0; i < wire.size(); i += 3) {
+    const std::size_t n = std::min<std::size_t>(3, wire.size() - i);
+    chain.append(SharedBytes(Bytes(wire.begin() + static_cast<std::ptrdiff_t>(i),
+                                   wire.begin() +
+                                       static_cast<std::ptrdiff_t>(i + n))));
+  }
+  ASSERT_GT(chain.slices().size(), 1u);
+  ChainReader r(chain);
+  EXPECT_EQ(r.u32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.varint().value(), 300u);
+  EXPECT_EQ(r.string().value(), "hello chain");
+  EXPECT_EQ(r.u64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_FALSE(r.u8().ok());  // truncated reads still fail cleanly
+}
+
+TEST(ChainReader, ViewBlobIsZeroCopy) {
+  Writer w;
+  w.u8(0x42);
+  w.blob(iota_bytes(64));
+  const SharedBytes wire(std::move(w).take());
+  ByteChain chain(wire);
+  ChainReader r(chain);
+  ASSERT_TRUE(r.u8().ok());
+  auto view = r.view_blob();
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.value().size(), 64u);
+  EXPECT_EQ(view.value(), iota_bytes(64));
+  // The view is slices of the wire buffer, not a copy.
+  ASSERT_EQ(view.value().slices().size(), 1u);
+  EXPECT_TRUE(view.value().slices()[0].shares_storage(wire));
+  EXPECT_TRUE(r.exhausted());
+}
 
 }  // namespace
 }  // namespace collabqos::serde

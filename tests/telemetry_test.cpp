@@ -280,7 +280,7 @@ class TraceIntegrationTest : public ::testing::Test {
         pubsub::Selector::parse("exists capability.image").take();
     message.content.set("media.type", "image");
     message.event_type = "media.share";
-    message.payload = serde::Bytes(4096, 0x42);
+    message.payload = serde::ByteChain(serde::Bytes(4096, 0x42));
     return message;
   }
 
@@ -379,7 +379,7 @@ TEST(TelemetryMib, ManagerWalksRegistryAndReadsLiveCounters) {
     pubsub::SemanticMessage message;
     message.selector = pubsub::Selector::parse("role == 'viewer'").take();
     message.event_type = "media.share";
-    message.payload = serde::Bytes(64, 0x7);
+    message.payload = serde::ByteChain(serde::Bytes(64, 0x7));
     bob->profile().set("role", "viewer");
     carol->profile().set("role", "viewer");
     ASSERT_TRUE(alice->publish(std::move(message)).ok());
