@@ -1,0 +1,251 @@
+// Chaos-plane bench: repair convergence vs Gilbert–Elliott burst length.
+//
+// The NACK repair loop (DESIGN.md §6) is tuned for bursty wireless loss;
+// the chaos plane (DESIGN.md §12) lets us sweep exactly how bursty. This
+// bench holds the bad-state occupancy fixed at ~20% and stretches the
+// mean burst length from 1 to 32 packets, measuring for each point how
+// much repair traffic is needed and how long delivery takes to converge.
+// Short bursts should repair in one NACK round; long bursts stall whole
+// windows and stress the timeout/retry path. Results land in
+// BENCH_chaos.json.
+//
+// Columns:
+//   burst     — mean bad-state sojourn in packets (1 / p_bg)
+//   delivered — unique objects delivered / published after the grace tail
+//   nack/rtx  — repair requests and retransmitted fragments
+//   amp       — retransmitted fragments per original fragment sent
+//   p50/p99   — delivery latency percentiles (publish -> handler), ms
+//   settle    — time from last publish to last delivery, ms
+//
+// Usage: micro_chaos [--smoke]   (--smoke: fewer points, fewer objects)
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "collabqos/chaos/controller.hpp"
+#include "collabqos/chaos/schedule.hpp"
+#include "collabqos/core/session.hpp"
+#include "collabqos/net/network.hpp"
+#include "collabqos/pubsub/peer.hpp"
+#include "collabqos/sim/simulator.hpp"
+#include "collabqos/util/hash.hpp"
+#include "collabqos/util/rng.hpp"
+
+using namespace collabqos;
+
+namespace {
+
+struct Row {
+  double burst_len = 0.0;
+  std::uint64_t published = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t nacks = 0;
+  std::uint64_t retransmissions = 0;
+  double amplification = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double settle_ms = 0.0;
+};
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+/// One point of the sweep: publisher -> subscriber over a link whose
+/// downlink/uplink both run a Gilbert–Elliott chain with mean burst
+/// `burst_len` packets at fixed ~20% bad-state occupancy.
+Row run_point(double burst_len, std::uint64_t objects,
+              std::size_t payload_bytes, std::uint64_t seed) {
+  Row row;
+  row.burst_len = burst_len;
+
+  sim::Simulator simulator;
+  net::Network network(simulator, seed);
+  core::SessionDirectory directory;
+  pubsub::AttributeSet objective;
+  objective.set("domain", "chaos-bench");
+  const core::SessionInfo session =
+      directory.create("chaos-bench", objective, {}).take();
+  pubsub::PeerOptions peer_options;
+  peer_options.port = session.port;
+  // Convergence is the point here: give the selective-repeat loop a
+  // deeper retry budget than the latency-biased default of 2.
+  peer_options.nack_attempts = 8;
+
+  const net::NodeId pub_node = network.add_node("pub");
+  const net::NodeId sub_node = network.add_node("sub");
+  pubsub::SemanticPeer publisher(network, pub_node, session.group, 1,
+                                 peer_options);
+  pubsub::SemanticPeer subscriber(network, sub_node, session.group, 2,
+                                  peer_options);
+
+  // Delivery bookkeeping: publish time per object id, delivery latency.
+  std::map<std::uint64_t, sim::TimePoint> publish_time;
+  std::vector<double> latencies_ms;
+  std::uint64_t delivered = 0;
+  sim::TimePoint last_delivery = simulator.now();
+  subscriber.on_message([&](const pubsub::SemanticMessage& message,
+                            const pubsub::MatchDecision&) {
+    const pubsub::AttributeValue* id_attr = message.content.find("bench.id");
+    if (id_attr == nullptr) return;
+    const auto id_number = id_attr->as_number();
+    if (!id_number) return;
+    const auto it =
+        publish_time.find(static_cast<std::uint64_t>(*id_number));
+    if (it == publish_time.end()) return;  // duplicate already consumed
+    latencies_ms.push_back((simulator.now() - it->second).as_seconds() *
+                           1e3);
+    publish_time.erase(it);
+    ++delivered;
+    last_delivery = simulator.now();
+  });
+
+  // The burst chain comes in through the real chaos path: a parsed
+  // schedule armed on a controller, exactly as `--chaos` would do it.
+  const double p_bg = 1.0 / burst_len;
+  const double p_gb = 0.25 / burst_len;  // occupancy p_gb/(p_gb+p_bg)=0.2
+  char schedule_text[160];
+  std::snprintf(schedule_text, sizeof schedule_text,
+                "at 0s burst nodes=sub p_gb=%.6f p_bg=%.6f loss_bad=1.0",
+                p_gb, p_bg);
+  const auto schedule = chaos::ChaosSchedule::parse(schedule_text);
+  if (!schedule.ok()) {
+    std::fprintf(stderr, "micro_chaos: bad schedule: %s\n",
+                 schedule.error().message.c_str());
+    return row;
+  }
+  chaos::ChaosController controller(network,
+                                    derive_seed(seed, 0xBE7C4u));
+  controller.arm(schedule.value());
+
+  // Publish `objects` blobs on a 50 ms period, then let repair drain.
+  const sim::Duration period = sim::Duration::millis(50);
+  std::uint64_t next_id = 0;
+  sim::PeriodicTimer publish_timer(simulator, period, [&] {
+    if (next_id >= objects) return;
+    const std::uint64_t id = next_id++;
+    publish_time.emplace(id, simulator.now());
+    Rng rng(derive_seed(seed, 0xB10Bu, id));
+    serde::Bytes payload(payload_bytes);
+    for (std::size_t i = 0; i < payload.size(); i += 8) {
+      const std::uint64_t word = rng();
+      for (std::size_t j = 0; j < 8 && i + j < payload.size(); ++j) {
+        payload[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+      }
+    }
+    pubsub::SemanticMessage message;
+    message.event_type = "bench.blob";
+    message.content.set("bench.id", static_cast<std::int64_t>(id));
+    message.payload = serde::ByteChain(std::move(payload));
+    (void)publisher.publish(std::move(message));
+  });
+  publish_timer.start();
+
+  const sim::TimePoint last_publish =
+      simulator.now() +
+      sim::Duration::micros(period.as_micros() *
+                            static_cast<std::int64_t>(objects));
+  simulator.run_until(last_publish + sim::Duration::seconds(10.0));
+  publish_timer.stop();
+
+  row.published = objects;
+  row.delivered = delivered;
+  row.nacks = subscriber.stats().nacks_sent;
+  row.retransmissions = publisher.stats().retransmissions;
+  const std::uint64_t fragments_per_object =
+      std::max<std::uint64_t>(1, (payload_bytes + peer_options.mtu_payload -
+                                  1) /
+                                     peer_options.mtu_payload);
+  row.amplification = static_cast<double>(row.retransmissions) /
+                      static_cast<double>(std::max<std::uint64_t>(
+                          1, objects * fragments_per_object));
+  row.p50_ms = percentile(latencies_ms, 0.50);
+  row.p99_ms = percentile(latencies_ms, 0.99);
+  row.settle_ms = std::max(
+      0.0, (last_delivery - last_publish).as_seconds() * 1e3);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const std::vector<double> full_sweep = {1, 2, 4, 8, 16, 32};
+  const std::vector<double> smoke_sweep = {1, 4, 16};
+  const std::vector<double>& sweep = smoke ? smoke_sweep : full_sweep;
+  const std::uint64_t objects = smoke ? 40 : 200;
+  const std::size_t payload_bytes = 16 * 1024;
+  const std::uint64_t seed = 1;
+
+  std::printf("repair convergence vs Gilbert-Elliott burst length "
+              "(%llu x %zu KiB objects, ~20%% bad occupancy)\n",
+              static_cast<unsigned long long>(objects),
+              payload_bytes / 1024);
+  std::printf("%6s %10s %7s %7s %8s %9s %9s %10s\n", "burst", "delivered",
+              "nack", "rtx", "amp", "p50 ms", "p99 ms", "settle ms");
+
+  std::vector<Row> rows;
+  for (const double burst : sweep) {
+    const Row row = run_point(burst, objects, payload_bytes, seed);
+    std::printf("%6.0f %5llu/%-4llu %7llu %7llu %8.3f %9.1f %9.1f %10.1f\n",
+                row.burst_len,
+                static_cast<unsigned long long>(row.delivered),
+                static_cast<unsigned long long>(row.published),
+                static_cast<unsigned long long>(row.nacks),
+                static_cast<unsigned long long>(row.retransmissions),
+                row.amplification, row.p50_ms, row.p99_ms, row.settle_ms);
+    rows.push_back(row);
+  }
+
+  if (std::FILE* out = std::fopen("BENCH_chaos.json", "w")) {
+    std::fprintf(out, "{\"bench\":\"micro_chaos\",\"objects\":%llu,"
+                      "\"payload_bytes\":%zu,\"rows\":[",
+                 static_cast<unsigned long long>(objects), payload_bytes);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(
+          out,
+          "%s{\"burst_len\":%.0f,\"published\":%llu,\"delivered\":%llu,"
+          "\"nacks\":%llu,\"retransmissions\":%llu,"
+          "\"amplification\":%.4f,\"latency_p50_ms\":%.2f,"
+          "\"latency_p99_ms\":%.2f,\"settle_ms\":%.2f}",
+          i == 0 ? "" : ",", r.burst_len,
+          static_cast<unsigned long long>(r.published),
+          static_cast<unsigned long long>(r.delivered),
+          static_cast<unsigned long long>(r.nacks),
+          static_cast<unsigned long long>(r.retransmissions),
+          r.amplification, r.p50_ms, r.p99_ms, r.settle_ms);
+    }
+    std::fprintf(out, "]}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_chaos.json\n");
+  }
+
+  // Acceptance: with single-packet bursts the repair loop must fully
+  // converge — anything less means the NACK path regressed.
+  if (!rows.empty() && rows.front().burst_len <= 1.0 &&
+      rows.front().delivered != rows.front().published) {
+    std::fprintf(stderr,
+                 "FAIL: burst=1 did not converge (%llu/%llu delivered)\n",
+                 static_cast<unsigned long long>(rows.front().delivered),
+                 static_cast<unsigned long long>(rows.front().published));
+    return 1;
+  }
+  return 0;
+}

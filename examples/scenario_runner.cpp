@@ -14,6 +14,16 @@
 //   --duration S   simulated seconds (default 30)
 //   --image N      shared image edge length (default 256)
 //   --seed K       simulation seed (default 1)
+//   --chaos X      run the chaos-plane resilience harness instead of the
+//                  ad-hoc scenario: X is a schedule file path, or the
+//                  literal "canned" for the built-in burst + storm +
+//                  partition + outage + crash drill. The harness builds
+//                  its own topology (w0 publishes; w1.. subscribe; thin
+//                  clients behind "bs"), arms the schedule, verifies the
+//                  recovery invariants (no corrupted delivery, alerts
+//                  raise and clear within bound, post-heal progress) and
+//                  writes the report to RESILIENCE_scenario.json. Exit
+//                  status is nonzero when any invariant is violated.
 //   --observe      run the QoS Observatory alongside the scenario: a
 //                  dedicated observer node samples the local registry
 //                  every second AND walks wired client 1's telemetry
@@ -31,6 +41,8 @@
 #include <vector>
 
 #include "collabqos/app/image_viewer.hpp"
+#include "collabqos/chaos/harness.hpp"
+#include "collabqos/chaos/schedule.hpp"
 #include "collabqos/core/basestation_peer.hpp"
 #include "collabqos/core/client.hpp"
 #include "collabqos/core/decision_audit.hpp"
@@ -56,6 +68,7 @@ struct Options {
   int image = 256;
   std::uint64_t seed = 1;
   bool observe = false;
+  std::string chaos;  ///< schedule path, or "canned"; empty = off
 };
 
 bool parse_args(int argc, char** argv, Options& options) {
@@ -85,6 +98,8 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.seed = static_cast<std::uint64_t>(value);
     } else if (arg == "--observe") {
       options.observe = true;
+    } else if (arg == "--chaos" && i + 1 < argc) {
+      options.chaos = argv[++i];
     } else {
       std::fprintf(stderr, "unknown or malformed argument: %s\n",
                    std::string(arg).c_str());
@@ -104,11 +119,59 @@ struct Wired {
   std::unique_ptr<app::ImageViewer> viewer;
 };
 
+// --chaos path: hand the run to the resilience harness instead of the
+// ad-hoc scenario below. Returns the process exit status.
+int run_chaos(const Options& options) {
+  std::string text;
+  if (options.chaos == "canned") {
+    text = chaos::ResilienceHarness::canned_schedule();
+  } else {
+    std::FILE* file = std::fopen(options.chaos.c_str(), "rb");
+    if (file == nullptr) {
+      std::fprintf(stderr, "chaos: cannot open schedule %s\n",
+                   options.chaos.c_str());
+      return 2;
+    }
+    char buffer[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+      text.append(buffer, got);
+    }
+    std::fclose(file);
+  }
+
+  auto schedule = chaos::ChaosSchedule::parse(text);
+  if (!schedule.ok()) {
+    std::fprintf(stderr, "chaos: %s\n",
+                 schedule.error().message.c_str());
+    return 2;
+  }
+
+  chaos::HarnessOptions harness_options;
+  harness_options.wired = options.wired;
+  harness_options.wireless = options.wireless;
+  harness_options.duration_s = options.duration_s;
+  harness_options.seed = options.seed;
+  chaos::ResilienceHarness harness(harness_options);
+  const chaos::ResilienceReport report = harness.run(schedule.value());
+
+  std::printf("%s", report.to_text().c_str());
+  if (std::FILE* out = std::fopen("RESILIENCE_scenario.json", "w")) {
+    const std::string json = report.to_json();
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+    std::printf("resilience report written to RESILIENCE_scenario.json\n");
+  }
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options options;
   if (!parse_args(argc, argv, options)) return 2;
+  if (!options.chaos.empty()) return run_chaos(options);
 
   sim::Simulator simulator;
   net::Network network(simulator, options.seed);

@@ -48,6 +48,10 @@ BaseStationPeer::BaseStationPeer(net::Network& network, net::NodeId node,
   peer_->profile().set("role", "base-station");
   peer_->on_message([this](const pubsub::SemanticMessage& message,
                            const pubsub::MatchDecision&) {
+    if (out_of_service_) {
+      ++stats_.outage_dropped;  // injected outage: relay plane is dark
+      return;
+    }
     // Uplink events from registered thin clients also land here (they
     // unicast to the session port); distinguish by sender registry.
     for (const auto& [station, entry] : clients_) {
@@ -74,6 +78,8 @@ BaseStationPeer::BaseStationPeer(net::Network& network, net::NodeId node,
                                  stats_.suppressed_by_profile));
   regs.push_back(registry.attach("core.base_station.adaptation_failures",
                                  stats_.adaptation_failures));
+  regs.push_back(registry.attach("core.base_station.outage_dropped",
+                                 stats_.outage_dropped));
 }
 
 BaseStationPeer::~BaseStationPeer() = default;

@@ -50,6 +50,7 @@ struct BaseStationStats {
   std::uint64_t suppressed_by_grade = 0;
   std::uint64_t suppressed_by_profile = 0;
   std::uint64_t adaptation_failures = 0;
+  std::uint64_t outage_dropped = 0;  ///< traffic hit an injected outage
 };
 
 struct BaseStationOptions {
@@ -91,6 +92,16 @@ class BaseStationPeer {
   void on_uplink(const pubsub::SemanticMessage& message,
                  net::Address source);
 
+  /// Chaos plane: take the relay plane out of service and back. While
+  /// out, uplink and downlink traffic is dropped (counted in
+  /// core.base_station.outage_dropped); the control plane (attach /
+  /// detach / profile updates) keeps working, modelling a data-plane
+  /// failure with an intact management channel.
+  void set_out_of_service(bool out) noexcept { out_of_service_ = out; }
+  [[nodiscard]] bool out_of_service() const noexcept {
+    return out_of_service_;
+  }
+
   [[nodiscard]] wireless::RadioResourceManager& radio() noexcept {
     return *radio_;
   }
@@ -99,7 +110,7 @@ class BaseStationPeer {
         stats_.uplink_events.value(),       stats_.multicast_relayed.value(),
         stats_.downlink_unicasts.value(),   stats_.suppressed_by_grade.value(),
         stats_.suppressed_by_profile.value(),
-        stats_.adaptation_failures.value(),
+        stats_.adaptation_failures.value(), stats_.outage_dropped.value(),
     };
   }
   [[nodiscard]] net::Address address() const noexcept {
@@ -132,6 +143,7 @@ class BaseStationPeer {
     telemetry::Counter suppressed_by_grade;
     telemetry::Counter suppressed_by_profile;
     telemetry::Counter adaptation_failures;
+    telemetry::Counter outage_dropped;
     std::vector<telemetry::Registration> registrations;
   };
 
@@ -153,6 +165,7 @@ class BaseStationPeer {
   std::map<net::Address, wireless::StationId> by_address_;
   media::TransformerSuite transformers_;
   Counters stats_;
+  bool out_of_service_ = false;
 };
 
 }  // namespace collabqos::core

@@ -9,6 +9,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "collabqos/net/address.hpp"
@@ -97,6 +98,25 @@ class Endpoint {
   bool loopback_ = false;
 };
 
+/// Chaos-plane verdict for one datagram crossing source -> destination,
+/// consulted once per destination before the downlink link model. All
+/// fields compose: a decision may both delay and duplicate, say.
+struct FaultDecision {
+  bool drop = false;            ///< swallow the datagram (partition)
+  sim::Duration extra_delay{};  ///< reorder: added to the delivery time
+  bool duplicate = false;       ///< deliver a second copy
+  sim::Duration duplicate_skew{};  ///< extra delay on the duplicate
+  bool corrupt = false;            ///< deliver a bit-flipped copy
+  std::size_t corrupt_offset = 0;  ///< byte index (mod size) to damage
+  std::uint8_t corrupt_xor = 0xff; ///< flip mask (0 degrades to no-op)
+};
+
+/// Installed by the chaos controller; the network itself stays fault-free
+/// and RNG-free here — all stochastic choices live behind the hook.
+using FaultHook =
+    std::function<FaultDecision(Address source, Address destination,
+                                std::size_t payload_bytes)>;
+
 /// Point-in-time view of the network's counters (registry families
 /// "net.datagrams.*" / "net.bytes.*"; see DESIGN.md §9).
 struct NetworkStats {
@@ -105,6 +125,9 @@ struct NetworkStats {
   std::uint64_t datagrams_dropped_loss = 0;
   std::uint64_t datagrams_dropped_unbound = 0;
   std::uint64_t bytes_delivered = 0;
+  std::uint64_t datagrams_dropped_fault = 0;  ///< chaos drop / partition
+  std::uint64_t datagrams_duplicated = 0;     ///< extra chaos copies
+  std::uint64_t datagrams_corrupted = 0;      ///< chaos bit-flip copies
 };
 
 /// Per-node interface counters (what a MIB-II interfaces-group agent on
@@ -118,7 +141,10 @@ struct NodeStats {
 
 class Network {
  public:
-  /// `seed` drives all stochastic link behaviour.
+  /// `seed` drives all stochastic link behaviour. Each link gets an
+  /// independent RNG stream derived from (seed, node id, direction), so
+  /// link behaviour is bit-reproducible regardless of how many other
+  /// nodes exist or whether the chaos plane is active.
   Network(sim::Simulator& simulator, std::uint64_t seed = 1);
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -127,9 +153,19 @@ class Network {
   /// Register a node with given attachment characteristics. Returns its id.
   NodeId add_node(const std::string& name, LinkParams params = {});
 
-  /// Re-configure a node's link (e.g. congestion onset mid-run).
+  /// Re-configure a node's link (e.g. congestion onset mid-run). The
+  /// link RNG streams are preserved across the swap; `params.loss_seed`
+  /// is only consulted at add_node time.
   Status set_link_params(NodeId node, LinkParams params);
   [[nodiscard]] Result<LinkParams> link_params(NodeId node) const;
+
+  /// Look a node up by the name given to add_node (first match). Chaos
+  /// schedules reference nodes by name.
+  [[nodiscard]] Result<NodeId> find_node(std::string_view name) const;
+
+  /// Install (or clear, with nullptr) the chaos-plane fault hook. At most
+  /// one hook; the chaos controller multiplexes active faults behind it.
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
   /// Bind a fresh endpoint on `node`:`port`. Port 0 auto-assigns.
   [[nodiscard]] Result<std::unique_ptr<Endpoint>> bind(NodeId node,
@@ -142,6 +178,9 @@ class Network {
         stats_.datagrams_dropped_loss.value(),
         stats_.datagrams_dropped_unbound.value(),
         stats_.bytes_delivered.value(),
+        stats_.datagrams_dropped_fault.value(),
+        stats_.datagrams_duplicated.value(),
+        stats_.datagrams_corrupted.value(),
     };
   }
   [[nodiscard]] Result<NodeStats> node_stats(NodeId node) const;
@@ -162,6 +201,9 @@ class Network {
     telemetry::Counter datagrams_dropped_loss;
     telemetry::Counter datagrams_dropped_unbound;
     telemetry::Counter bytes_delivered;
+    telemetry::Counter datagrams_dropped_fault;
+    telemetry::Counter datagrams_duplicated;
+    telemetry::Counter datagrams_corrupted;
     std::vector<telemetry::Registration> registrations;
   };
 
@@ -194,9 +236,11 @@ class Network {
   void route(Address source, Address destination, bool via_multicast,
              GroupId group, const serde::ByteChain& payload,
              sim::Duration uplink_delay);
+  void schedule_delivery(Datagram datagram, sim::Duration delay);
 
   sim::Simulator& simulator_;
-  Rng rng_;
+  std::uint64_t seed_;  ///< base for per-link derived RNG streams
+  FaultHook fault_hook_;
   std::map<std::uint32_t, Node> nodes_;
   std::map<Address, Endpoint*> bound_;
   std::map<std::uint32_t, std::set<Address>> groups_;

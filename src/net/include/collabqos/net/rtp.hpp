@@ -8,7 +8,11 @@
 // because the progressive image codec wants to decode *whatever subset of
 // fragments arrived* — each fragment is independently meaningful. Loss,
 // reordering and duplication handling plus the RFC 3550 jitter estimator
-// are otherwise faithful.
+// are otherwise faithful. Packets additionally carry a 32-bit FNV-1a
+// checksum over header fields and payload (real RTP leans on UDP/IP
+// checksums we do not model): decode rejects corrupted packets so a
+// bit-flipped payload can never reach reassembly, counting them in the
+// "rtp.corrupt_detected" telemetry family.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +26,7 @@
 #include "collabqos/serde/chain.hpp"
 #include "collabqos/serde/wire.hpp"
 #include "collabqos/sim/time.hpp"
+#include "collabqos/telemetry/metrics.hpp"
 #include "collabqos/util/result.hpp"
 #include "collabqos/util/stats.hpp"
 
@@ -133,7 +138,22 @@ class RtpReceiver {
  public:
   using ObjectHandler = std::function<void(const RtpObject&)>;
 
-  explicit RtpReceiver(sim::Duration flush_after = sim::Duration::millis(200));
+  struct Options {
+    sim::Duration flush_after = sim::Duration::millis(200);
+    /// Budget for payload bytes held across all pending (incomplete)
+    /// objects; 0 = unbounded. Past it the stalest pending objects are
+    /// force-flushed (delivered partial, like a flush_stale hit) until
+    /// back under budget, so sustained loss cannot grow reassembly
+    /// memory without bound. Evictions count in the
+    /// "rtp.reassembly.evicted" telemetry family; the live footprint is
+    /// the "rtp.reassembly.pending_bytes" gauge. Size the budget above
+    /// the largest single object or it will be flushed the same way.
+    std::size_t pending_byte_budget = 0;
+  };
+
+  explicit RtpReceiver(Options options);
+  explicit RtpReceiver(sim::Duration flush_after = sim::Duration::millis(200))
+      : RtpReceiver(Options{flush_after, 0}) {}
 
   void on_object(ObjectHandler handler) { handler_ = std::move(handler); }
 
@@ -180,6 +200,14 @@ class RtpReceiver {
   [[nodiscard]] std::size_t pending_objects() const noexcept {
     return pending_.size();
   }
+  /// Payload bytes currently held by pending objects.
+  [[nodiscard]] std::size_t pending_bytes() const noexcept {
+    return pending_bytes_;
+  }
+  /// Pending objects force-flushed by the byte budget so far.
+  [[nodiscard]] std::uint64_t evicted() const noexcept {
+    return counters_.evicted.value();
+  }
 
  private:
   struct SourceState {
@@ -203,15 +231,27 @@ class RtpReceiver {
     RtpObject object;
     std::vector<bool> received;  ///< distinguishes missing from empty
     sim::TimePoint last_update{};
+    std::size_t stored_bytes = 0;  ///< payload bytes held (budget share)
+  };
+
+  /// Registry-backed reassembly instruments ("rtp.reassembly.*").
+  struct Counters {
+    telemetry::Counter evicted;
+    telemetry::Gauge pending_bytes;
+    std::vector<telemetry::Registration> registrations;
   };
 
   void update_stats(SourceState& state, const RtpPacket& packet,
                     sim::TimePoint now);
   void deliver(PendingObject& pending);
   void remember_completed(const PendingKey& key);
+  void forget_bytes(const PendingObject& pending) noexcept;
+  void enforce_budget();
 
   ObjectHandler handler_;
-  sim::Duration flush_after_;
+  Options options_;
+  std::size_t pending_bytes_ = 0;
+  Counters counters_;
   std::map<std::uint32_t, SourceState> sources_;
   std::map<PendingKey, PendingObject> pending_;
   /// At-most-once delivery: recently completed objects absorb late

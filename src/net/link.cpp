@@ -6,7 +6,17 @@ namespace collabqos::net {
 
 LinkVerdict LinkModel::transmit(std::size_t payload_bytes) {
   LinkVerdict verdict;
-  if (rng_.chance(params_.loss_probability)) {
+  bool lost;
+  if (params_.burst.enabled) {
+    const double flip = bad_state_ ? params_.burst.p_bad_to_good
+                                   : params_.burst.p_good_to_bad;
+    if (rng_.chance(flip)) bad_state_ = !bad_state_;
+    lost = rng_.chance(bad_state_ ? params_.burst.loss_bad
+                                  : params_.burst.loss_good);
+  } else {
+    lost = rng_.chance(params_.loss_probability);
+  }
+  if (lost) {
     return verdict;  // dropped
   }
   verdict.delivered = true;

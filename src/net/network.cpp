@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstdio>
 
+#include "collabqos/telemetry/pipeline.hpp"
+#include "collabqos/util/hash.hpp"
 #include "collabqos/util/logging.hpp"
 
 namespace collabqos::net {
@@ -60,7 +62,7 @@ bool Endpoint::member_of(GroupId group) const {
 // ----------------------------------------------------------------- Network
 
 Network::Network(sim::Simulator& simulator, std::uint64_t seed)
-    : simulator_(simulator), rng_(seed) {
+    : simulator_(simulator), seed_(seed) {
   auto& registry = telemetry::MetricsRegistry::global();
   stats_.registrations.push_back(
       registry.attach("net.datagrams.sent", stats_.datagrams_sent));
@@ -72,6 +74,12 @@ Network::Network(sim::Simulator& simulator, std::uint64_t seed)
       "net.datagrams.dropped_unbound", stats_.datagrams_dropped_unbound));
   stats_.registrations.push_back(
       registry.attach("net.bytes.delivered", stats_.bytes_delivered));
+  stats_.registrations.push_back(registry.attach(
+      "net.datagrams.dropped_fault", stats_.datagrams_dropped_fault));
+  stats_.registrations.push_back(registry.attach(
+      "net.datagrams.duplicated", stats_.datagrams_duplicated));
+  stats_.registrations.push_back(registry.attach(
+      "net.datagrams.corrupted", stats_.datagrams_corrupted));
 }
 
 Network::~Network() {
@@ -83,8 +91,15 @@ NodeId Network::add_node(const std::string& name, LinkParams params) {
   const std::uint32_t id = next_node_++;
   Node node;
   node.name = name;
-  node.uplink = std::make_unique<LinkModel>(params, rng_.split());
-  node.downlink = std::make_unique<LinkModel>(params, rng_.split());
+  // Per-link streams derived from (seed, node id, direction) — not drawn
+  // from a shared RNG — so a link's loss/jitter sequence depends only on
+  // the network seed and its own id, never on sibling links.
+  const std::uint64_t link_seed =
+      params.loss_seed != 0 ? params.loss_seed : derive_seed(seed_, id);
+  node.uplink =
+      std::make_unique<LinkModel>(params, Rng(derive_seed(link_seed, 1)));
+  node.downlink =
+      std::make_unique<LinkModel>(params, Rng(derive_seed(link_seed, 2)));
   node.counters = std::make_unique<NodeCounters>();
   auto& registry = telemetry::MetricsRegistry::global();
   node.counters->registrations.push_back(
@@ -169,6 +184,13 @@ Result<std::string> Network::node_name(NodeId node) const {
   return it->second.name;
 }
 
+Result<NodeId> Network::find_node(std::string_view name) const {
+  for (const auto& [id, node] : nodes_) {
+    if (node.name == name) return make_node(id);
+  }
+  return Error{Errc::no_such_object, "unknown node name"};
+}
+
 void Network::unbind(Endpoint& endpoint) {
   for (const std::uint32_t group : endpoint.groups_) {
     auto it = groups_.find(group);
@@ -239,6 +261,12 @@ Status Network::send_multicast(Endpoint& from, GroupId group,
 void Network::route(Address source, Address destination, bool via_multicast,
                     GroupId group, const serde::ByteChain& payload,
                     sim::Duration uplink_delay) {
+  FaultDecision fault;
+  if (fault_hook_) fault = fault_hook_(source, destination, payload.size());
+  if (fault.drop) {
+    ++stats_.datagrams_dropped_fault;
+    return;
+  }
   const auto node_it = nodes_.find(raw(destination.node));
   if (node_it == nodes_.end()) {
     ++stats_.datagrams_dropped_unbound;
@@ -251,7 +279,7 @@ void Network::route(Address source, Address destination, bool via_multicast,
   }
   ++node_it->second.counters->datagrams_in;
   node_it->second.counters->bytes_in += payload.size();
-  const sim::Duration total = uplink_delay + down.delay;
+  const sim::Duration total = uplink_delay + down.delay + fault.extra_delay;
   Datagram datagram;
   datagram.source = source;
   datagram.destination = destination;
@@ -259,8 +287,30 @@ void Network::route(Address source, Address destination, bool via_multicast,
   datagram.group = group;
   datagram.payload = payload;
   datagram.sent_at = simulator_.now();
+  if (fault.corrupt && payload.size() > 0 && fault.corrupt_xor != 0) {
+    // The chain's buffers are shared with the sender and every other
+    // receiver: a bit-flip must land on a private copy, charged like any
+    // other pipeline materialisation.
+    serde::Bytes damaged = payload.gather();
+    damaged[fault.corrupt_offset % damaged.size()] ^= fault.corrupt_xor;
+    auto& copies = telemetry::PipelineCounters::global();
+    copies.charge(copies.chaos_corrupt(), damaged.size());
+    datagram.payload = serde::ByteChain(std::move(damaged));
+    ++stats_.datagrams_corrupted;
+  }
+  if (fault.duplicate) {
+    ++stats_.datagrams_duplicated;
+    schedule_delivery(datagram, total + fault.duplicate_skew);
+  }
+  schedule_delivery(std::move(datagram), total);
+  CQ_TRACE(kComponent) << "routed " << payload.size() << "B "
+                       << to_string(source) << " -> "
+                       << to_string(destination);
+}
+
+void Network::schedule_delivery(Datagram datagram, sim::Duration delay) {
   simulator_.schedule_after(
-      total, [this, datagram = std::move(datagram)]() mutable {
+      delay, [this, datagram = std::move(datagram)]() mutable {
         const auto it = bound_.find(datagram.destination);
         if (it == bound_.end() || !it->second->handler_) {
           ++stats_.datagrams_dropped_unbound;
@@ -270,9 +320,6 @@ void Network::route(Address source, Address destination, bool via_multicast,
         stats_.bytes_delivered += datagram.payload.size();
         it->second->handler_(datagram);
       });
-  CQ_TRACE(kComponent) << "routed " << payload.size() << "B "
-                       << to_string(source) << " -> "
-                       << to_string(destination);
 }
 
 }  // namespace collabqos::net

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <iterator>
 
 #include "collabqos/telemetry/pipeline.hpp"
+#include "collabqos/util/hash.hpp"
 
 namespace collabqos::net {
 
@@ -17,8 +19,31 @@ int seq_distance(std::uint16_t a, std::uint16_t b) noexcept {
   return static_cast<std::int16_t>(static_cast<std::uint16_t>(b - a));
 }
 
+/// 32-bit FNV-1a over every header field plus the payload bytes. Covers
+/// what UDP/IP checksums would in a real stack: a chaos-plane bit flip
+/// anywhere in the datagram fails verification at decode.
+std::uint32_t packet_checksum(const RtpPacket& p,
+                              std::span<const std::uint8_t> payload) {
+  Fnv1a hash;
+  hash.update_u64(p.ssrc);
+  hash.update_u64((static_cast<std::uint64_t>(p.sequence) << 32) |
+                  p.timestamp);
+  hash.update_u64((static_cast<std::uint64_t>(p.payload_type) << 32) |
+                  (static_cast<std::uint64_t>(p.fragment_index) << 16) |
+                  p.fragment_count);
+  hash.update(payload);
+  return hash.value32();
+}
+
+/// Cold-path counter for checksum rejects (the hot path never sees one).
+void count_corrupt_detected() {
+  static telemetry::Counter& detected =
+      telemetry::MetricsRegistry::global().counter("rtp.corrupt_detected");
+  ++detected;
+}
+
 serde::Bytes encode_header(const RtpPacket& p) {
-  serde::Writer w(24);
+  serde::Writer w(28);
   w.u8(kMagic);
   w.u32(p.ssrc);
   w.u16(p.sequence);
@@ -26,6 +51,7 @@ serde::Bytes encode_header(const RtpPacket& p) {
   w.u8(p.payload_type);
   w.u16(p.fragment_index);
   w.u16(p.fragment_count);
+  w.u32(packet_checksum(p, p.payload.span()));
   w.varint(p.payload.size());  // blob length prefix; bytes follow as a view
   return std::move(w).take();
 }
@@ -61,9 +87,15 @@ Result<RtpPacket> decode_fields(ReaderT& r, PayloadFn read_payload) {
   if (p.fragment_count == 0 || p.fragment_index >= p.fragment_count) {
     return Error{Errc::malformed, "bad fragment fields"};
   }
+  auto checksum = r.u32();
+  if (!checksum) return checksum.error();
   if (auto status = read_payload(r, p); !status.ok()) return status.error();
   if (!r.exhausted()) {
     return Error{Errc::malformed, "trailing bytes after RTP payload"};
+  }
+  if (checksum.value() != packet_checksum(p, p.payload.span())) {
+    count_corrupt_detected();
+    return Error{Errc::malformed, "RTP checksum mismatch"};
   }
   return p;
 }
@@ -200,8 +232,13 @@ serde::Bytes RtpObject::reassemble() const {
   return out;
 }
 
-RtpReceiver::RtpReceiver(sim::Duration flush_after)
-    : flush_after_(flush_after) {}
+RtpReceiver::RtpReceiver(Options options) : options_(options) {
+  auto& registry = telemetry::MetricsRegistry::global();
+  counters_.registrations.push_back(
+      registry.attach("rtp.reassembly.evicted", counters_.evicted));
+  counters_.registrations.push_back(registry.attach(
+      "rtp.reassembly.pending_bytes", counters_.pending_bytes));
+}
 
 Status RtpReceiver::ingest(const serde::ByteChain& bytes, sim::TimePoint now) {
   auto decoded = RtpPacket::decode(bytes);
@@ -244,17 +281,46 @@ Status RtpReceiver::ingest(RtpPacket packet, sim::TimePoint now) {
     return {};  // duplicate fragment; absorb silently
   }
   pending.received[packet.fragment_index] = true;
+  const std::size_t fragment_bytes = packet.payload.size();
   pending.object.fragments[packet.fragment_index] = std::move(packet.payload);
   ++pending.object.fragments_received;
+  pending.stored_bytes += fragment_bytes;
+  pending_bytes_ += fragment_bytes;
+  counters_.pending_bytes.set(static_cast<double>(pending_bytes_));
   pending.last_update = now;
 
   if (pending.object.fragments_received == pending.object.fragment_count) {
     pending.object.complete = true;
+    forget_bytes(pending);
     deliver(pending);
     remember_completed(key);
     pending_.erase(it);
+  } else {
+    enforce_budget();
   }
   return {};
+}
+
+void RtpReceiver::forget_bytes(const PendingObject& pending) noexcept {
+  pending_bytes_ -= pending.stored_bytes;
+  counters_.pending_bytes.set(static_cast<double>(pending_bytes_));
+}
+
+void RtpReceiver::enforce_budget() {
+  if (options_.pending_byte_budget == 0) return;
+  while (pending_bytes_ > options_.pending_byte_budget && !pending_.empty()) {
+    // Stalest first: the object whose repair is least likely to still be
+    // in flight gives up its bytes (delivered partial, like flush_stale;
+    // ties break on the lowest key, deterministically).
+    auto victim = pending_.begin();
+    for (auto it = std::next(pending_.begin()); it != pending_.end(); ++it) {
+      if (it->second.last_update < victim->second.last_update) victim = it;
+    }
+    forget_bytes(victim->second);
+    deliver(victim->second);
+    ++counters_.evicted;
+    pending_.erase(victim);
+  }
 }
 
 void RtpReceiver::remember_completed(const PendingKey& key) {
@@ -334,7 +400,8 @@ void RtpReceiver::touch(std::uint32_t ssrc, std::uint32_t timestamp,
 std::size_t RtpReceiver::flush_stale(sim::TimePoint now) {
   std::size_t flushed = 0;
   for (auto it = pending_.begin(); it != pending_.end();) {
-    if (now - it->second.last_update >= flush_after_) {
+    if (now - it->second.last_update >= options_.flush_after) {
+      forget_bytes(it->second);
       deliver(it->second);
       it = pending_.erase(it);
       ++flushed;

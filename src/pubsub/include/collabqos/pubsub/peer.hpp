@@ -58,6 +58,10 @@ struct PeerOptions {
   /// pure best-effort.
   int nack_attempts = 2;
   std::size_t retransmit_buffer_packets = 2048;
+  /// Reassembly memory bound under sustained loss (see
+  /// net::RtpReceiver::Options::pending_byte_budget); 0 = unbounded.
+  /// 8 MiB comfortably holds dozens of in-flight maximum-size objects.
+  std::size_t reassembly_byte_budget = 8 * 1024 * 1024;
   /// Distinct selectors cached on the receive path (steady-state streams
   /// re-send the same selector every message; a hit skips its decode and
   /// compile). 0 disables caching.

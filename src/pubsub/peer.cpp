@@ -44,7 +44,8 @@ SemanticPeer::SemanticPeer(net::Network& network, net::NodeId node,
       peer_id_(peer_id),
       options_(options),
       packetizer_(static_cast<std::uint32_t>(peer_id), options.mtu_payload),
-      receiver_(options.reassembly_flush),
+      receiver_(net::RtpReceiver::Options{options.reassembly_flush,
+                                          options.reassembly_byte_budget}),
       selector_cache_(options.selector_cache_entries) {
   auto endpoint = network.bind(node, options.port);
   if (!endpoint) {

@@ -45,6 +45,10 @@ class PipelineCounters {
   /// Media materialisation at the pipeline edge (decode of a fragmented
   /// media payload view).
   Counter& media() noexcept { return media_; }
+  /// Chaos-plane corruption: a faulted datagram must materialise a
+  /// mutated copy (its buffers are shared with the sender and every
+  /// other receiver, so in-place bit-flips are forbidden).
+  Counter& chaos_corrupt() noexcept { return chaos_corrupt_; }
 
   /// Charge `bytes` to `site` (must be one of this instance's counters)
   /// and to the total roll-up. No-op for 0 bytes.
@@ -74,6 +78,7 @@ class PipelineCounters {
   Counter message_decode_;
   Counter gather_;
   Counter media_;
+  Counter chaos_corrupt_;
   Counter total_;
   std::vector<Registration> registrations_;
 };

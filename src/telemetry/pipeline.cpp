@@ -22,6 +22,8 @@ PipelineCounters::PipelineCounters() {
   registrations_.push_back(
       registry.attach("pipeline.bytes_copied.media", media_));
   registrations_.push_back(
+      registry.attach("pipeline.bytes_copied.chaos_corrupt", chaos_corrupt_));
+  registrations_.push_back(
       registry.attach("pipeline.bytes_copied.total", total_));
 }
 

@@ -231,10 +231,12 @@ TEST_F(FailureTest, LossStormDropsMediaButClientRecovers) {
   const media::Image image =
       render_scene(media::make_crisis_scene(64, 64, 1));
 
+  // Harsh but not total: enough fragments leak through that reassembly
+  // holds partial objects, which the flush timer then drops incomplete.
   net::LinkParams storm;
-  storm.loss_probability = 0.95;
+  storm.loss_probability = 0.9;
   ASSERT_TRUE(network_.set_link_params(receiver->address().node, storm).ok());
-  for (int i = 0; i < 5; ++i) {
+  for (int i = 0; i < 8; ++i) {
     ASSERT_TRUE(sender_viewer.share(image, "during", "d").ok());
     run_for(1.0);
   }
